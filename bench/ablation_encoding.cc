@@ -1,0 +1,88 @@
+// Ablation of DESIGN.md design choices: tuple encoding (binary vs one-hot vs
+// embedding, §4.2/§4.6) and column factorization on/off (§4.6), measured as
+// model size, epoch time, and accuracy.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "util/stopwatch.h"
+
+namespace uae {
+namespace {
+
+int Run(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  bench::BenchConfig config = bench::BenchConfig::FromFlags(flags);
+  config.rows = static_cast<size_t>(flags.GetInt("rows", 20000));
+  config.train_queries = static_cast<size_t>(flags.GetInt("train", 400));
+  config.test_queries = static_cast<size_t>(flags.GetInt("test", 100));
+
+  data::Table census = bench::BuildDataset("census", config.rows, config.seed);
+  workload::TrainTestWorkloads w = workload::GenerateTrainTest(
+      census, config.train_queries, config.test_queries, config.seed + 1);
+
+  auto eval = [&](const core::Uae& model) {
+    std::vector<double> errors;
+    for (const auto& lq : w.test_in_workload) {
+      errors.push_back(workload::QError(model.EstimateCard(lq.query), lq.card));
+    }
+    return util::Summarize(errors);
+  };
+
+  std::printf("=== Ablation: tuple encoding (Census, UAE-D) ===\n");
+  std::printf("%-10s %10s %12s | %9s %9s %9s\n", "encoder", "size", "epoch_sec",
+              "Median", "95th", "MAX");
+  const std::pair<const char*, data::EncoderKind> encoders[] = {
+      {"binary", data::EncoderKind::kBinary},
+      {"onehot", data::EncoderKind::kOneHot},
+      {"embed", data::EncoderKind::kEmbedding},
+  };
+  for (const auto& [name, kind] : encoders) {
+    core::UaeConfig uc = config.ToUaeConfig();
+    uc.encoder = kind;
+    core::Uae model(census, uc);
+    double epoch_sec = 0.0;
+    model.TrainDataEpochs(config.uae_epochs, [&](const core::TrainStats& s) {
+      epoch_sec = s.seconds;
+    });
+    util::ErrorSummary es = eval(model);
+    std::printf("%-10s %9zuK %12.1f | %9s %9s %9s\n", name, model.SizeBytes() >> 10,
+                epoch_sec, util::FormatError(es.median).c_str(),
+                util::FormatError(es.p95).c_str(), util::FormatError(es.max).c_str());
+    std::fflush(stdout);
+  }
+
+  // ---- Factorization on/off on the large-domain DMV column -------------------
+  std::printf("\n=== Ablation: column factorization (DMV model_year, domain 1000) ===\n");
+  data::Table dmv = bench::BuildDataset("dmv", config.rows, config.seed);
+  workload::TrainTestWorkloads wd = workload::GenerateTrainTest(
+      dmv, config.train_queries, config.test_queries, config.seed + 2);
+  std::printf("%-16s %8s %8s %12s | %9s %9s %9s\n", "factorization", "vcols",
+              "size", "epoch_sec", "Median", "95th", "MAX");
+  for (int threshold : {0 /*off*/, 128 /*on*/}) {
+    core::UaeConfig uc = config.ToUaeConfig();
+    uc.factor_threshold = threshold == 0 ? 1 << 30 : threshold;
+    uc.factor_bits = 6;
+    core::Uae model(dmv, uc);
+    double epoch_sec = 0.0;
+    model.TrainDataEpochs(config.uae_epochs, [&](const core::TrainStats& s) {
+      epoch_sec = s.seconds;
+    });
+    std::vector<double> errors;
+    for (const auto& lq : wd.test_in_workload) {
+      errors.push_back(workload::QError(model.EstimateCard(lq.query), lq.card));
+    }
+    util::ErrorSummary es = util::Summarize(errors);
+    std::printf("%-16s %8d %7zuK %12.1f | %9s %9s %9s\n",
+                threshold == 0 ? "off" : "on (<=64/vcol)", model.schema().num_virtual(),
+                model.SizeBytes() >> 10, epoch_sec,
+                util::FormatError(es.median).c_str(),
+                util::FormatError(es.p95).c_str(), util::FormatError(es.max).c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace uae
+
+int main(int argc, char** argv) { return uae::Run(argc, argv); }

@@ -1,0 +1,55 @@
+// Reproduces the temperature study of §5.3 (text): UAE-D pretraining followed
+// by UAE-Q refinement under different Gumbel-Softmax temperatures tau.
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace uae {
+namespace {
+
+int Run(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  bench::BenchConfig config = bench::BenchConfig::FromFlags(flags);
+  config.rows = static_cast<size_t>(flags.GetInt("rows", 16000));
+  config.train_queries = static_cast<size_t>(flags.GetInt("train", 600));
+  config.test_queries = static_cast<size_t>(flags.GetInt("test", 120));
+  config.uae_epochs = static_cast<int>(flags.GetInt("epochs", 2));
+  int refine_steps = static_cast<int>(flags.GetInt("refine_steps", 100));
+
+  data::Table table = bench::BuildDataset("dmv", config.rows, config.seed);
+  workload::TrainTestWorkloads w = workload::GenerateTrainTest(
+      table, config.train_queries, config.test_queries, config.seed + 1);
+  core::UaeConfig uc = config.ToUaeConfig();
+
+  std::string ckpt = "/tmp/uae_tau_pretrain.bin";
+  {
+    core::Uae pretrain(table, uc);
+    pretrain.TrainDataEpochs(config.uae_epochs);
+    UAE_CHECK(pretrain.Save(ckpt).ok());
+  }
+
+  std::printf("=== Temperature study (§5.3): UAE-Q refinement under tau ===\n");
+  std::printf("%8s | %9s %9s %9s %9s\n", "tau", "Mean", "Median", "95th", "MAX");
+  for (float tau : {0.5f, 0.75f, 1.0f, 1.25f}) {
+    core::UaeConfig tc = uc;
+    tc.tau = tau;
+    core::Uae model(table, tc);
+    UAE_CHECK(model.Load(ckpt).ok());
+    model.TrainQuerySteps(w.train, refine_steps);
+    std::vector<double> errors;
+    for (const auto& lq : w.test_in_workload) {
+      errors.push_back(workload::QError(model.EstimateCard(lq.query), lq.card));
+    }
+    util::ErrorSummary es = util::Summarize(errors);
+    std::printf("%8.2f | %9s %9s %9s %9s\n", tau, util::FormatError(es.mean).c_str(),
+                util::FormatError(es.median).c_str(),
+                util::FormatError(es.p95).c_str(), util::FormatError(es.max).c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace uae
+
+int main(int argc, char** argv) { return uae::Run(argc, argv); }

@@ -1,0 +1,87 @@
+// Shared bench harness: flag parsing, dataset construction, estimator
+// training, and table-formatted q-error reporting for the per-table/figure
+// reproduction binaries.
+//
+// Defaults are scaled for a 2-core CPU box (see DESIGN.md §2); every knob can
+// be raised via flags (--rows=, --train=, --epochs=, ...) to approach the
+// paper's full-scale setup.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/uae.h"
+#include "data/synthetic.h"
+#include "estimators/bayesnet.h"
+#include "estimators/estimator.h"
+#include "estimators/feedback_kde.h"
+#include "estimators/histogram.h"
+#include "estimators/kde.h"
+#include "estimators/lr.h"
+#include "estimators/mscn.h"
+#include "estimators/sampling.h"
+#include "estimators/spn.h"
+#include "estimators/uae_adapter.h"
+#include "workload/generator.h"
+#include "workload/metrics.h"
+
+namespace uae::bench {
+
+/// Minimal --key=value flag parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+  int64_t GetInt(const std::string& key, int64_t def) const;
+  double GetDouble(const std::string& key, double def) const;
+  std::string GetString(const std::string& key, const std::string& def) const;
+  bool GetBool(const std::string& key, bool def) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+/// Shared experiment configuration (defaults already CPU-scaled).
+struct BenchConfig {
+  size_t rows = 40000;
+  size_t train_queries = 1200;
+  size_t test_queries = 240;
+  int uae_epochs = 5;
+  int hidden = 64;
+  int ps_samples = 200;
+  int dps_samples = 24;
+  int query_batch = 16;
+  float lambda = 1e-4f;
+  uint64_t seed = 42;
+
+  static BenchConfig FromFlags(const Flags& flags);
+  core::UaeConfig ToUaeConfig() const;
+};
+
+/// Builds one of the three single-table datasets by name: dmv|census|kdd.
+data::Table BuildDataset(const std::string& name, size_t rows, uint64_t seed);
+
+/// One fully evaluated estimator row of a results table.
+struct ResultRow {
+  std::string name;
+  size_t size_bytes = 0;
+  util::ErrorSummary in_workload;
+  util::ErrorSummary random;
+  double train_seconds = 0.0;
+};
+
+/// Evaluates `estimate` on both test workloads.
+ResultRow EvaluateEstimator(const std::string& name, size_t size_bytes,
+                            const workload::Workload& test_in,
+                            const workload::Workload& test_random,
+                            const std::function<double(const workload::Query&)>& est);
+
+/// Prints the Table 2/3/4-shaped header + rows.
+void PrintResultTable(const std::string& title, const std::vector<ResultRow>& rows);
+
+/// Runs the full 11-estimator comparison of Tables 2-4 on one dataset.
+/// Returns the rows (also printed).
+std::vector<ResultRow> RunSingleTableComparison(const std::string& dataset,
+                                                const BenchConfig& config);
+
+}  // namespace uae::bench

@@ -1,0 +1,109 @@
+// Google-benchmark microbenchmarks of the NN substrate and the estimator hot
+// paths: GEMM kernels, softmax, ResMADE trunk forward, one progressive-sample
+// query, and one DPS training step.
+#include <benchmark/benchmark.h>
+
+#include "core/dps.h"
+#include "core/progressive.h"
+#include "core/uae.h"
+#include "data/synthetic.h"
+#include "nn/kernels.h"
+#include "workload/generator.h"
+
+namespace uae {
+namespace {
+
+void BM_GemmAccum(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  util::Rng rng(1);
+  nn::Mat a = nn::Mat::Gaussian(n, n, 1.f, &rng);
+  nn::Mat b = nn::Mat::Gaussian(n, n, 1.f, &rng);
+  nn::Mat c(n, n);
+  for (auto _ : state) {
+    c.Zero();
+    nn::GemmAccum(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{2} * n * n * n);
+}
+BENCHMARK(BM_GemmAccum)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  util::Rng rng(2);
+  nn::Mat in = nn::Mat::Gaussian(256, static_cast<int>(state.range(0)), 1.f, &rng);
+  nn::Mat out(in.rows(), in.cols());
+  for (auto _ : state) {
+    nn::SoftmaxRows(in, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_SoftmaxRows)->Arg(64)->Arg(1024);
+
+struct MadeFixture {
+  data::Table table = data::SyntheticDmv(5000, 3);
+  data::VirtualSchema schema = data::VirtualSchema::Build(table, 1 << 30, 8);
+  core::MadeModel model{&schema, [] {
+                          core::MadeConfig mc;
+                          mc.hidden = 64;
+                          return mc;
+                        }()};
+};
+
+void BM_MadeTrunkForward(benchmark::State& state) {
+  static MadeFixture* f = new MadeFixture();
+  int batch = static_cast<int>(state.range(0));
+  nn::NoGradGuard ng;
+  std::vector<nn::Tensor> inputs;
+  for (int vc = 0; vc < f->model.num_vcols(); ++vc) {
+    inputs.push_back(f->model.WildcardInput(vc, batch));
+  }
+  for (auto _ : state) {
+    nn::Tensor h = f->model.Trunk(inputs);
+    benchmark::DoNotOptimize(h->value().data());
+  }
+}
+BENCHMARK(BM_MadeTrunkForward)->Arg(64)->Arg(256);
+
+void BM_ProgressiveSampleQuery(benchmark::State& state) {
+  static MadeFixture* f = new MadeFixture();
+  workload::GeneratorConfig gc;
+  workload::QueryGenerator gen(f->table, gc, 9);
+  workload::Query q = gen.Generate();
+  core::QueryTargets targets = core::BuildTargets(q, f->table, f->schema);
+  util::Rng rng(11);
+  for (auto _ : state) {
+    double sel = core::ProgressiveSample(f->model, targets,
+                                         static_cast<int>(state.range(0)), &rng);
+    benchmark::DoNotOptimize(sel);
+  }
+}
+BENCHMARK(BM_ProgressiveSampleQuery)->Arg(32)->Arg(128);
+
+void BM_DpsStep(benchmark::State& state) {
+  static MadeFixture* f = new MadeFixture();
+  workload::GeneratorConfig gc;
+  workload::QueryGenerator gen(f->table, gc, 13);
+  std::vector<core::QueryTargets> targets;
+  std::vector<const core::QueryTargets*> ptrs;
+  std::vector<double> sels;
+  for (int i = 0; i < 8; ++i) {
+    targets.push_back(core::BuildTargets(gen.Generate(), f->table, f->schema));
+    sels.push_back(0.01 * (i + 1));
+  }
+  for (auto& t : targets) ptrs.push_back(&t);
+  core::DpsConfig dc;
+  dc.samples = static_cast<int>(state.range(0));
+  util::Rng rng(17);
+  for (auto _ : state) {
+    nn::Tensor loss = core::DpsQueryLoss(f->model, ptrs, sels, dc, &rng);
+    nn::Backward(loss);
+    benchmark::DoNotOptimize(loss->value().data());
+    for (auto& p : f->model.Parameters()) p.tensor->ZeroGrad();
+  }
+}
+BENCHMARK(BM_DpsStep)->Arg(8)->Arg(24);
+
+}  // namespace
+}  // namespace uae
+
+BENCHMARK_MAIN();

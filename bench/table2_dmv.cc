@@ -1,0 +1,12 @@
+// Reproduces Table 2: estimation errors of 11 estimators on the DMV analog,
+// in-workload vs random queries, {mean, median, 95th, max} q-error.
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  uae::bench::Flags flags(argc, argv);
+  uae::bench::BenchConfig config = uae::bench::BenchConfig::FromFlags(flags);
+  auto rows = uae::bench::RunSingleTableComparison("dmv", config);
+  uae::bench::PrintResultTable("Table 2: Estimation Errors on DMV (synthetic analog)",
+                               rows);
+  return 0;
+}

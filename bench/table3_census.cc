@@ -1,0 +1,13 @@
+// Reproduces Table 3: estimation errors on the Census analog (48K rows, 14
+// mixed columns, weak correlation).
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  uae::bench::Flags flags(argc, argv);
+  uae::bench::BenchConfig config = uae::bench::BenchConfig::FromFlags(flags);
+  config.rows = static_cast<size_t>(flags.GetInt("rows", 48000));  // 1:1 scale.
+  auto rows = uae::bench::RunSingleTableComparison("census", config);
+  uae::bench::PrintResultTable(
+      "Table 3: Estimation Errors on Census (synthetic analog)", rows);
+  return 0;
+}

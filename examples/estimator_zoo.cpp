@@ -1,0 +1,71 @@
+// The estimator zoo: trains every baseline family of §5.1.4 on one table and
+// prints a side-by-side q-error comparison — a miniature of Tables 2-4.
+#include <cstdio>
+
+#include "core/uae.h"
+#include "data/synthetic.h"
+#include "estimators/bayesnet.h"
+#include "estimators/histogram.h"
+#include "estimators/kde.h"
+#include "estimators/lr.h"
+#include "estimators/mscn.h"
+#include "estimators/sampling.h"
+#include "estimators/spn.h"
+#include "workload/generator.h"
+#include "workload/metrics.h"
+
+int main() {
+  using namespace uae;
+  data::Table table = data::SyntheticCensus(20000, 2);
+  workload::TrainTestWorkloads w = workload::GenerateTrainTest(table, 300, 80, 9);
+
+  auto report = [&](const std::string& name, size_t size,
+                    const std::function<double(const workload::Query&)>& est) {
+    util::ErrorSummary s =
+        util::Summarize(workload::EvaluateQErrors(w.test_in_workload, est));
+    std::printf("%-14s %6zuKB  median=%7.3f  p95=%8.3f  max=%9.2f\n", name.c_str(),
+                size >> 10, s.median, s.p95, s.max);
+  };
+
+  estimators::HistogramAviEstimator hist(table, 64);
+  report("Histogram-AVI", hist.SizeBytes(),
+         [&](const workload::Query& q) { return hist.EstimateCard(q); });
+
+  estimators::SamplingEstimator sampling(table, 0.05, 11);
+  report("Sampling", sampling.SizeBytes(),
+         [&](const workload::Query& q) { return sampling.EstimateCard(q); });
+
+  estimators::KdeEstimator kde(table, 1500, 12);
+  report("KDE", kde.SizeBytes(),
+         [&](const workload::Query& q) { return kde.EstimateCard(q); });
+
+  estimators::BayesNetEstimator bn(table, 20000, 0.1, 13);
+  report("BayesNet", bn.SizeBytes(),
+         [&](const workload::Query& q) { return bn.EstimateCard(q); });
+
+  estimators::SpnConfig spn_cfg;
+  estimators::SpnEstimator spn(table, spn_cfg);
+  report("DeepDB-SPN", spn.SizeBytes(),
+         [&](const workload::Query& q) { return spn.EstimateCard(q); });
+
+  estimators::LrEstimator lr(table);
+  lr.Train(w.train);
+  report("LR", lr.SizeBytes(),
+         [&](const workload::Query& q) { return lr.EstimateCard(q); });
+
+  estimators::MscnConfig mc;
+  mc.epochs = 12;
+  estimators::MscnEstimator mscn(table, mc);
+  mscn.Train(w.train);
+  report("MSCN-base", mscn.SizeBytes(),
+         [&](const workload::Query& q) { return mscn.EstimateCard(q); });
+
+  core::UaeConfig uc;
+  uc.hidden = 48;
+  uc.ps_samples = 128;
+  core::Uae uae(table, uc);
+  uae.TrainHybridEpochs(w.train, 2);
+  report("UAE", uae.SizeBytes(),
+         [&](const workload::Query& q) { return uae.EstimateCard(q); });
+  return 0;
+}

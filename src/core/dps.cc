@@ -1,0 +1,128 @@
+#include "core/dps.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/gumbel.h"
+#include "core/progressive.h"
+
+namespace uae::core {
+
+nn::Tensor DpsQueryLoss(const MadeModel& model,
+                        const std::vector<const QueryTargets*>& queries,
+                        const std::vector<double>& true_sels, const DpsConfig& config,
+                        util::Rng* rng) {
+  const data::VirtualSchema& vs = model.schema();
+  const int n_vc = model.num_vcols();
+  const int q = static_cast<int>(queries.size());
+  const int s = config.samples;
+  const int b = q * s;
+  UAE_CHECK_GT(q, 0);
+  UAE_CHECK_EQ(true_sels.size(), static_cast<size_t>(q));
+
+  auto query_of_row = [s](int r) { return r / s; };
+
+  std::vector<nn::Tensor> inputs(static_cast<size_t>(n_vc));
+  for (int vc = 0; vc < n_vc; ++vc) {
+    inputs[static_cast<size_t>(vc)] = model.WildcardInput(vc, b);
+  }
+  std::vector<DigitRangeState> states(static_cast<size_t>(b),
+                                      DigitRangeState(vs.num_original()));
+  nn::Tensor p;  // Running per-row density estimate (Alg. 2 line 6).
+
+  for (int vc = 0; vc < n_vc; ++vc) {
+    const data::VirtualColumn& v = vs.vcol(vc);
+    const int oc = v.orig_col;
+    // Skip the column when *no* query in the batch constrains it.
+    bool any = false;
+    for (int qi = 0; qi < q; ++qi) {
+      if (!queries[static_cast<size_t>(qi)]->cols[static_cast<size_t>(oc)].IsWildcard()) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) continue;
+
+    const int32_t dom = v.domain;
+    nn::Tensor h = model.Trunk(inputs);
+    nn::Tensor logits = model.HeadLogits(vc, h);
+
+    // Per-row weight and log-weight matrices (constants in the graph).
+    nn::Mat w_mat(b, dom);
+    nn::Mat logw_mat(b, dom);
+    std::vector<uint8_t> row_constrained(static_cast<size_t>(b), 0);
+    for (int r = 0; r < b; ++r) {
+      const QueryTargets& qt = *queries[static_cast<size_t>(query_of_row(r))];
+      const ColumnTarget& target = qt.cols[static_cast<size_t>(oc)];
+      if (target.IsWildcard()) {
+        // Unconstrained for this row: mass contribution 1, input stays
+        // wildcard. All-ones weights achieve the former.
+        float* w = w_mat.row(r);
+        for (int32_t c = 0; c < dom; ++c) w[c] = 1.f;
+        continue;
+      }
+      row_constrained[static_cast<size_t>(r)] = 1;
+      FillColumnWeights(vs, vc, target, states[static_cast<size_t>(r)], w_mat.row(r),
+                        logw_mat.row(r));
+    }
+
+    // mass = sum_v probs(v) * w(v); p *= mass.
+    nn::Tensor probs = nn::SoftmaxRowsOp(logits);
+    nn::Tensor mass = nn::RowSum(nn::MulConstMat(probs, w_mat));
+    p = p ? nn::Mul(p, mass) : mass;
+
+    // Gumbel-Softmax relaxed sample from the renormalized restricted
+    // distribution (Alg. 1 over Alg. 2 lines 7-9).
+    nn::Tensor masked = nn::AddConstMat(logits, logw_mat);
+    nn::Tensor logpi = nn::LogSoftmaxRowsOp(masked);
+    nn::Mat noise(b, dom);
+    FillGumbelNoise(&noise, rng);
+    nn::Tensor y =
+        nn::SoftmaxRowsOp(nn::Scale(nn::AddConstMat(logpi, noise), 1.f / config.tau));
+
+    // Soft re-encoding for constrained rows, wildcard token for the rest.
+    nn::Tensor soft = model.EncodeSoft(vc, y);
+    nn::Tensor wild = model.WildcardInput(vc, b);
+    const int width = soft->cols();
+    nn::Mat keep_soft(b, width);
+    nn::Mat keep_wild(b, width);
+    for (int r = 0; r < b; ++r) {
+      float flag = row_constrained[static_cast<size_t>(r)] ? 1.f : 0.f;
+      float* ks = keep_soft.row(r);
+      float* kw = keep_wild.row(r);
+      for (int c = 0; c < width; ++c) {
+        ks[c] = flag;
+        kw[c] = 1.f - flag;
+      }
+    }
+    inputs[static_cast<size_t>(vc)] =
+        nn::Add(nn::MulConstMat(soft, keep_soft), nn::MulConstMat(wild, keep_wild));
+
+    // Advance digit-range state using the hard (argmax) sample. The hard
+    // decision only steers later *masks*; gradients keep flowing through y.
+    if (v.num_subs > 1) {
+      for (int r = 0; r < b; ++r) {
+        if (!row_constrained[static_cast<size_t>(r)]) continue;
+        const QueryTargets& qt = *queries[static_cast<size_t>(query_of_row(r))];
+        const ColumnTarget& target = qt.cols[static_cast<size_t>(oc)];
+        if (target.kind != ColumnTarget::Kind::kRange) continue;
+        const float* yr = y->value().row(r);
+        int32_t hard = 0;
+        for (int32_t c = 1; c < dom; ++c) {
+          if (yr[c] > yr[hard]) hard = c;
+        }
+        states[static_cast<size_t>(r)].Advance(vs, vc, target.lo, target.hi, hard);
+      }
+    }
+  }
+
+  UAE_CHECK(p != nullptr) << "DPS batch contained only unconstrained queries";
+  nn::Tensor sel_hat = nn::SegmentMean(p, s);
+  nn::Mat truth(q, 1);
+  for (int qi = 0; qi < q; ++qi) {
+    truth.at(qi, 0) = static_cast<float>(true_sels[static_cast<size_t>(qi)]);
+  }
+  return nn::QErrorLoss(sel_hat, truth, config.sel_floor);
+}
+
+}  // namespace uae::core

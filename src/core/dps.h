@@ -1,0 +1,43 @@
+// Differentiable Progressive Sampling (Algorithm 2) — the paper's key
+// technical contribution. Builds the supervised query loss L_query (Eq. 5/6)
+// as an autograd graph:
+//
+//   per attribute i (in AR order, batched over queries x samples):
+//     logits_i   = model head i on the current soft inputs
+//     probs_i    = softmax(logits_i)
+//     mass_i     = sum_{v} probs_i(v) * w_q(v)           (line 6; w = region
+//                  indicator, or 1/F weights for join fanout downscaling)
+//     p         *= mass_i
+//     logits'_i  = logits_i + log w_q                    (lines 7-8: -inf
+//                  outside the region, then renormalized by log-softmax)
+//     y_i        = softmax((log_softmax(logits'_i) + g) / tau)   (Alg. 1)
+//     input_i    = y_i^T E_i                              (soft re-encoding)
+//
+//   sel_hat(q) = mean over the S samples of p             (lines 11-13)
+//   L_query    = mean_q Q-error(sel_hat(q), sel(q))       (Eq. 6)
+//
+// The Gumbel noise g is constant w.r.t. the graph, so gradients flow from
+// L_query through y back into every conditional — Fig. 2(3) of the paper.
+#pragma once
+
+#include "core/made.h"
+#include "core/targets.h"
+#include "util/rng.h"
+
+namespace uae::core {
+
+struct DpsConfig {
+  int samples = 32;       ///< S in Alg. 2 (paper default 200; scaled for CPU).
+  float tau = 1.0f;       ///< Gumbel-Softmax temperature (paper's best: 1.0).
+  float sel_floor = 1e-6f;///< Selectivity floor in the Q-error loss.
+};
+
+/// Builds the scalar L_query tensor for a batch of queries. `queries` and
+/// `true_sels` are parallel arrays. Rows are laid out query-major, S sample
+/// rows per query.
+nn::Tensor DpsQueryLoss(const MadeModel& model,
+                        const std::vector<const QueryTargets*>& queries,
+                        const std::vector<double>& true_sels, const DpsConfig& config,
+                        util::Rng* rng);
+
+}  // namespace uae::core

@@ -1,0 +1,36 @@
+#include "core/gumbel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.h"
+
+namespace uae::core {
+
+std::vector<float> GsSample(const std::vector<float>& pi, float tau, util::Rng* rng) {
+  UAE_CHECK(!pi.empty());
+  UAE_CHECK_GT(tau, 0.f);
+  std::vector<float> h(pi.size());
+  float mx = -1e30f;
+  for (size_t j = 0; j < pi.size(); ++j) {
+    float logp = pi[j] > 0.f ? std::log(pi[j]) : -1e9f;
+    h[j] = (logp + static_cast<float>(rng->Gumbel())) / tau;
+    mx = std::max(mx, h[j]);
+  }
+  float sum = 0.f;
+  for (float& v : h) {
+    v = std::exp(v - mx);
+    sum += v;
+  }
+  for (float& v : h) v /= sum;
+  return h;
+}
+
+void FillGumbelNoise(nn::Mat* out, util::Rng* rng) {
+  float* d = out->data();
+  for (size_t i = 0; i < out->size(); ++i) {
+    d[i] = static_cast<float>(rng->Gumbel());
+  }
+}
+
+}  // namespace uae::core

@@ -1,0 +1,21 @@
+// The Gumbel-Softmax trick (Algorithm 1 / Eq. 8-10): draws a *differentiable*
+// relaxed one-hot sample from a categorical distribution. The standalone
+// helper here is used by tests; DPS builds the same computation with graph
+// ops so gradients flow.
+#pragma once
+
+#include <vector>
+
+#include "nn/mat.h"
+#include "util/rng.h"
+
+namespace uae::core {
+
+/// Relaxed one-hot sample from unnormalized class probabilities `pi`:
+/// y = softmax((log pi + g) / tau), g_j ~ Gumbel(0,1).
+std::vector<float> GsSample(const std::vector<float>& pi, float tau, util::Rng* rng);
+
+/// Fills `out` [rows x cols] with i.i.d. Gumbel(0,1) noise (Eq. 9).
+void FillGumbelNoise(nn::Mat* out, util::Rng* rng);
+
+}  // namespace uae::core

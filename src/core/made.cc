@@ -1,0 +1,112 @@
+#include "core/made.h"
+
+#include "nn/masks.h"
+#include "nn/serialize.h"
+
+namespace uae::core {
+
+MadeModel::MadeModel(const data::VirtualSchema* schema, const MadeConfig& config)
+    : schema_(schema), config_(config) {
+  util::Rng rng(config.seed);
+  const int n = schema_->num_virtual();
+  UAE_CHECK_GT(n, 0);
+
+  // Per-vcol encoders.
+  encoders_.reserve(static_cast<size_t>(n));
+  widths_.reserve(static_cast<size_t>(n));
+  trainable_encoders_ = config_.encoder == data::EncoderKind::kEmbedding;
+  for (int vc = 0; vc < n; ++vc) {
+    int32_t dom = vdomain(vc);
+    switch (config_.encoder) {
+      case data::EncoderKind::kBinary:
+        encoders_.push_back(nn::Constant(data::BinaryEncodingMatrix(dom)));
+        break;
+      case data::EncoderKind::kOneHot:
+        encoders_.push_back(nn::Constant(data::OneHotEncodingMatrix(dom)));
+        break;
+      case data::EncoderKind::kEmbedding:
+        encoders_.push_back(
+            nn::Parameter(nn::Mat::Gaussian(dom + 1, config_.embed_dim, 0.1f, &rng)));
+        break;
+    }
+    widths_.push_back(encoders_.back()->cols());
+  }
+
+  hidden_degrees_ = nn::HiddenDegrees(config_.hidden, n);
+  input_layer_ = nn::MaskedLinear(nn::InputMask(widths_, hidden_degrees_),
+                                  "made.input", &rng);
+  for (int b = 0; b < config_.blocks; ++b) {
+    blocks_.emplace_back(hidden_degrees_, "made.block" + std::to_string(b), &rng);
+  }
+  heads_.reserve(static_cast<size_t>(n));
+  for (int vc = 0; vc < n; ++vc) {
+    heads_.emplace_back(nn::HeadMask(hidden_degrees_, vc, vdomain(vc)),
+                        "made.head" + std::to_string(vc), &rng);
+  }
+}
+
+nn::Tensor MadeModel::EncodeHard(int vc, const std::vector<int32_t>& codes) const {
+  return nn::EmbeddingLookup(encoders_[static_cast<size_t>(vc)], codes);
+}
+
+nn::Tensor MadeModel::EncodeSoft(int vc, const nn::Tensor& y) const {
+  const nn::Tensor& enc = encoders_[static_cast<size_t>(vc)];
+  UAE_CHECK_EQ(y->cols(), vdomain(vc));
+  // Drop the wildcard row: y mixes only real values.
+  return nn::MatMul(y, nn::SliceRows(enc, 0, vdomain(vc)));
+}
+
+nn::Tensor MadeModel::WildcardInput(int vc, int batch) const {
+  std::vector<int32_t> codes(static_cast<size_t>(batch), vdomain(vc));
+  return EncodeHard(vc, codes);
+}
+
+nn::Tensor MadeModel::Trunk(const std::vector<nn::Tensor>& per_vcol_inputs) const {
+  UAE_CHECK_EQ(per_vcol_inputs.size(), static_cast<size_t>(num_vcols()));
+  nn::Tensor x = nn::ConcatCols(per_vcol_inputs);
+  nn::Tensor h = input_layer_.Forward(x);
+  for (const auto& block : blocks_) h = block.Forward(h);
+  return nn::Relu(h);
+}
+
+nn::Tensor MadeModel::HeadLogits(int vc, const nn::Tensor& trunk_out) const {
+  return heads_[static_cast<size_t>(vc)].Forward(trunk_out);
+}
+
+nn::Tensor MadeModel::DataLoss(
+    const std::vector<std::vector<int32_t>>& input_codes,
+    const std::vector<std::vector<int32_t>>& target_codes) const {
+  const int n = num_vcols();
+  UAE_CHECK_EQ(input_codes.size(), static_cast<size_t>(n));
+  UAE_CHECK_EQ(target_codes.size(), static_cast<size_t>(n));
+  std::vector<nn::Tensor> inputs;
+  inputs.reserve(static_cast<size_t>(n));
+  for (int vc = 0; vc < n; ++vc) {
+    inputs.push_back(EncodeHard(vc, input_codes[static_cast<size_t>(vc)]));
+  }
+  nn::Tensor h = Trunk(inputs);
+  nn::Tensor loss;
+  for (int vc = 0; vc < n; ++vc) {
+    nn::Tensor ce =
+        nn::CrossEntropyLogits(HeadLogits(vc, h), target_codes[static_cast<size_t>(vc)]);
+    loss = loss ? nn::Add(loss, ce) : ce;
+  }
+  return loss;
+}
+
+std::vector<nn::NamedParam> MadeModel::Parameters() const {
+  std::vector<nn::NamedParam> params;
+  if (trainable_encoders_) {
+    for (size_t vc = 0; vc < encoders_.size(); ++vc) {
+      params.push_back({"made.emb" + std::to_string(vc), encoders_[vc]});
+    }
+  }
+  input_layer_.CollectParams(&params);
+  for (const auto& b : blocks_) b.CollectParams(&params);
+  for (const auto& head : heads_) head.CollectParams(&params);
+  return params;
+}
+
+size_t MadeModel::SizeBytes() const { return nn::ParamBytes(Parameters()); }
+
+}  // namespace uae::core

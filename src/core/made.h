@@ -1,0 +1,74 @@
+// ResMADE — the deep autoregressive density model of §4.2 ([53] architecture):
+// a masked MLP with residual blocks and one output head per (virtual) column,
+// factorizing P(x) = prod_i P(x_i | x_<i) without independence assumptions.
+//
+// The model operates over the VirtualSchema (original columns possibly split
+// into digit sub-columns). Every virtual column has an encoding matrix with
+// domain+1 rows — the last row is the wildcard token for unqueried columns
+// (§4.6) — which is constant for binary/one-hot encodings and trainable for
+// embeddings (the large-NDV option of §4.6).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/encoding.h"
+#include "data/factorization.h"
+#include "nn/layers.h"
+#include "nn/ops.h"
+#include "util/rng.h"
+
+namespace uae::core {
+
+struct MadeConfig {
+  int hidden = 64;                    ///< Hidden width (paper: 128).
+  int blocks = 1;                     ///< Residual blocks (paper: 2x128 MLP).
+  data::EncoderKind encoder = data::EncoderKind::kBinary;
+  int embed_dim = 16;                 ///< Used when encoder == kEmbedding.
+  uint64_t seed = 1;
+};
+
+class MadeModel {
+ public:
+  /// `schema` must outlive the model.
+  MadeModel(const data::VirtualSchema* schema, const MadeConfig& config);
+
+  int num_vcols() const { return schema_->num_virtual(); }
+  int32_t vdomain(int vc) const { return schema_->vcol(vc).domain; }
+  const data::VirtualSchema& schema() const { return *schema_; }
+  const MadeConfig& config() const { return config_; }
+
+  /// Encodes hard codes (wildcard = vdomain(vc)) for one virtual column.
+  nn::Tensor EncodeHard(int vc, const std::vector<int32_t>& codes) const;
+  /// Encodes a relaxed one-hot y [batch, vdomain] — the DPS soft input.
+  nn::Tensor EncodeSoft(int vc, const nn::Tensor& y) const;
+  /// Wildcard-token input rows for one virtual column.
+  nn::Tensor WildcardInput(int vc, int batch) const;
+
+  /// Trunk forward: per-vcol inputs -> final hidden activation [batch, hidden].
+  nn::Tensor Trunk(const std::vector<nn::Tensor>& per_vcol_inputs) const;
+  /// Logits of the head for virtual column vc: [batch, vdomain(vc)].
+  nn::Tensor HeadLogits(int vc, const nn::Tensor& trunk_out) const;
+
+  /// Unsupervised loss L_data (Eq. 2): sum over columns of the mean
+  /// cross-entropy, with `input_codes` possibly wildcarded (§4.6 wildcard
+  /// skipping) while `target_codes` carry the true values.
+  nn::Tensor DataLoss(const std::vector<std::vector<int32_t>>& input_codes,
+                      const std::vector<std::vector<int32_t>>& target_codes) const;
+
+  std::vector<nn::NamedParam> Parameters() const;
+  size_t SizeBytes() const;
+
+ private:
+  const data::VirtualSchema* schema_;
+  MadeConfig config_;
+  std::vector<nn::Tensor> encoders_;   ///< Per vcol, (domain+1) x width.
+  std::vector<int> widths_;            ///< Encoded width per vcol.
+  std::vector<int> hidden_degrees_;
+  nn::MaskedLinear input_layer_;
+  std::vector<nn::MadeResidualBlock> blocks_;
+  std::vector<nn::MaskedLinear> heads_;
+  bool trainable_encoders_ = false;
+};
+
+}  // namespace uae::core

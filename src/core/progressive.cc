@@ -1,0 +1,203 @@
+#include "core/progressive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/kernels.h"
+
+namespace uae::core {
+
+void FillColumnWeights(const data::VirtualSchema& schema, int vc,
+                       const ColumnTarget& target, const DigitRangeState& state,
+                       float* w, float* logw) {
+  const data::VirtualColumn& v = schema.vcol(vc);
+  const int32_t dom = v.domain;
+  auto set_mask = [&](auto&& allowed) {
+    for (int32_t c = 0; c < dom; ++c) {
+      bool a = allowed(c);
+      w[c] = a ? 1.f : 0.f;
+      if (logw != nullptr) logw[c] = a ? 0.f : -1e9f;
+    }
+  };
+  switch (target.kind) {
+    case ColumnTarget::Kind::kWildcard:
+      set_mask([](int32_t) { return true; });
+      break;
+    case ColumnTarget::Kind::kRange: {
+      if (v.num_subs == 1) {
+        set_mask([&](int32_t c) { return c >= target.lo && c <= target.hi; });
+      } else {
+        int32_t dlo = 0, dhi = 0;
+        state.DigitBounds(schema, vc, target.lo, target.hi, &dlo, &dhi);
+        set_mask([&](int32_t c) { return c >= dlo && c <= dhi; });
+      }
+      break;
+    }
+    case ColumnTarget::Kind::kMask:
+      UAE_DCHECK(v.num_subs == 1);
+      UAE_DCHECK(target.mask.size() == static_cast<size_t>(dom));
+      set_mask([&](int32_t c) { return target.mask[static_cast<size_t>(c)] != 0; });
+      break;
+    case ColumnTarget::Kind::kWeights:
+      UAE_DCHECK(v.num_subs == 1);
+      UAE_DCHECK(target.weights.size() == static_cast<size_t>(dom));
+      for (int32_t c = 0; c < dom; ++c) {
+        float wt = target.weights[static_cast<size_t>(c)];
+        w[c] = wt;
+        if (logw != nullptr) logw[c] = wt > 0.f ? std::log(wt) : -1e9f;
+      }
+      break;
+  }
+}
+
+namespace {
+
+/// Shared core: runs the per-attribute sampling loop and returns the
+/// per-sample density estimates p_s (Alg. 2 lines 2-12, hard sampling).
+std::vector<double> RunProgressiveSamples(const MadeModel& model,
+                                          const QueryTargets& targets,
+                                          int num_samples, util::Rng* rng);
+
+}  // namespace
+
+double ProgressiveSample(const MadeModel& model, const QueryTargets& targets,
+                         int num_samples, util::Rng* rng) {
+  std::vector<double> p = RunProgressiveSamples(model, targets, num_samples, rng);
+  double total = 0.0;
+  for (double v : p) total += v;
+  return total / static_cast<double>(p.size());
+}
+
+PsEstimate ProgressiveSampleWithError(const MadeModel& model,
+                                      const QueryTargets& targets, int num_samples,
+                                      util::Rng* rng) {
+  std::vector<double> p = RunProgressiveSamples(model, targets, num_samples, rng);
+  PsEstimate est;
+  est.samples = static_cast<int>(p.size());
+  double total = 0.0;
+  for (double v : p) total += v;
+  est.selectivity = total / static_cast<double>(p.size());
+  double var = 0.0;
+  for (double v : p) var += (v - est.selectivity) * (v - est.selectivity);
+  if (p.size() > 1) {
+    var /= static_cast<double>(p.size() - 1);
+    est.std_error = std::sqrt(var / static_cast<double>(p.size()));
+  }
+  return est;
+}
+
+namespace {
+
+std::vector<double> RunProgressiveSamples(const MadeModel& model,
+                                          const QueryTargets& targets,
+                                          int num_samples, util::Rng* rng) {
+  nn::NoGradGuard no_grad;
+  const data::VirtualSchema& vs = model.schema();
+  const int n_vc = model.num_vcols();
+  const int s = num_samples;
+  UAE_CHECK_GT(s, 0);
+  UAE_CHECK_EQ(targets.cols.size(), static_cast<size_t>(vs.num_original()));
+
+  std::vector<nn::Tensor> inputs(static_cast<size_t>(n_vc));
+  for (int vc = 0; vc < n_vc; ++vc) inputs[static_cast<size_t>(vc)] = model.WildcardInput(vc, s);
+
+  std::vector<double> p(static_cast<size_t>(s), 1.0);
+  std::vector<uint8_t> dead(static_cast<size_t>(s), 0);
+  std::vector<DigitRangeState> states(static_cast<size_t>(s),
+                                      DigitRangeState(vs.num_original()));
+  std::vector<float> w;
+  std::vector<float> sampling_weights;
+
+  for (int vc = 0; vc < n_vc; ++vc) {
+    const data::VirtualColumn& v = vs.vcol(vc);
+    const ColumnTarget& target = targets.cols[static_cast<size_t>(v.orig_col)];
+    if (target.IsWildcard()) continue;  // Wildcard skipping (§4.6).
+
+    nn::Tensor h = model.Trunk(inputs);
+    nn::Tensor logits = model.HeadLogits(vc, h);
+    const int32_t dom = v.domain;
+    nn::Mat probs(s, dom);
+    nn::SoftmaxRows(logits->value(), &probs);
+
+    std::vector<int32_t> sampled(static_cast<size_t>(s), 0);
+    w.resize(static_cast<size_t>(dom));
+    sampling_weights.resize(static_cast<size_t>(dom));
+    for (int r = 0; r < s; ++r) {
+      if (dead[static_cast<size_t>(r)]) continue;
+      FillColumnWeights(vs, vc, target, states[static_cast<size_t>(r)], w.data(),
+                        nullptr);
+      const float* pr = probs.row(r);
+      double mass = 0.0;
+      for (int32_t c = 0; c < dom; ++c) {
+        sampling_weights[static_cast<size_t>(c)] = pr[c] * w[static_cast<size_t>(c)];
+        mass += sampling_weights[static_cast<size_t>(c)];
+      }
+      p[static_cast<size_t>(r)] *= mass;
+      if (mass <= 0.0) {
+        dead[static_cast<size_t>(r)] = 1;
+        p[static_cast<size_t>(r)] = 0.0;
+        continue;
+      }
+      int32_t pick = static_cast<int32_t>(
+          rng->CategoricalF(sampling_weights.data(), static_cast<size_t>(dom)));
+      sampled[static_cast<size_t>(r)] = pick;
+      if (v.num_subs > 1 && target.kind == ColumnTarget::Kind::kRange) {
+        states[static_cast<size_t>(r)].Advance(vs, vc, target.lo, target.hi, pick);
+      }
+    }
+    inputs[static_cast<size_t>(vc)] = model.EncodeHard(vc, sampled);
+  }
+  return p;
+}
+
+}  // namespace
+
+std::vector<std::vector<int32_t>> SampleTuples(const MadeModel& model, int count,
+                                               util::Rng* rng) {
+  nn::NoGradGuard no_grad;
+  const data::VirtualSchema& vs = model.schema();
+  const int n_vc = model.num_vcols();
+  std::vector<nn::Tensor> inputs(static_cast<size_t>(n_vc));
+  for (int vc = 0; vc < n_vc; ++vc) {
+    inputs[static_cast<size_t>(vc)] = model.WildcardInput(vc, count);
+  }
+  std::vector<std::vector<int32_t>> vcodes(
+      static_cast<size_t>(n_vc), std::vector<int32_t>(static_cast<size_t>(count)));
+  for (int vc = 0; vc < n_vc; ++vc) {
+    nn::Tensor h = model.Trunk(inputs);
+    nn::Tensor logits = model.HeadLogits(vc, h);
+    nn::Mat probs(count, model.vdomain(vc));
+    nn::SoftmaxRows(logits->value(), &probs);
+    std::vector<int32_t> sampled(static_cast<size_t>(count));
+    for (int r = 0; r < count; ++r) {
+      sampled[static_cast<size_t>(r)] = static_cast<int32_t>(rng->CategoricalF(
+          probs.row(r), static_cast<size_t>(model.vdomain(vc))));
+    }
+    vcodes[static_cast<size_t>(vc)] = sampled;
+    inputs[static_cast<size_t>(vc)] = model.EncodeHard(vc, sampled);
+  }
+  // Re-assemble original-column codes per tuple.
+  std::vector<std::vector<int32_t>> tuples(
+      static_cast<size_t>(count),
+      std::vector<int32_t>(static_cast<size_t>(vs.num_original()), 0));
+  for (int oc = 0; oc < vs.num_original(); ++oc) {
+    const auto& vlist = vs.VirtualsOf(oc);
+    for (int r = 0; r < count; ++r) {
+      if (vlist.size() == 1) {
+        tuples[static_cast<size_t>(r)][static_cast<size_t>(oc)] =
+            vcodes[static_cast<size_t>(vlist[0])][static_cast<size_t>(r)];
+      } else {
+        std::vector<int32_t> digits;
+        digits.reserve(vlist.size());
+        for (int vc : vlist) {
+          digits.push_back(vcodes[static_cast<size_t>(vc)][static_cast<size_t>(r)]);
+        }
+        tuples[static_cast<size_t>(r)][static_cast<size_t>(oc)] =
+            vs.Compose(oc, digits);
+      }
+    }
+  }
+  return tuples;
+}
+
+}  // namespace uae::core

@@ -1,0 +1,44 @@
+// Progressive sampling (§4.2, following Naru [78]): Monte-Carlo estimation of
+// a range query's selectivity by sampling each attribute in order from the
+// model's conditional distribution restricted to the query region, multiplying
+// the in-region probability masses. Runs with autograd disabled.
+#pragma once
+
+#include "core/made.h"
+#include "core/targets.h"
+#include "util/rng.h"
+
+namespace uae::core {
+
+/// Estimated selectivity of the query described by `targets` using
+/// `num_samples` progressive samples. Unbiased for range queries.
+double ProgressiveSample(const MadeModel& model, const QueryTargets& targets,
+                         int num_samples, util::Rng* rng);
+
+/// Point estimate plus Monte-Carlo diagnostics of the progressive-sampling
+/// estimator: the standard error of the mean over the per-sample density
+/// estimates (selectivity units).
+struct PsEstimate {
+  double selectivity = 0.0;
+  double std_error = 0.0;   ///< sqrt(Var(p_s)/S); 0 for wildcard-only queries.
+  int samples = 0;
+};
+PsEstimate ProgressiveSampleWithError(const MadeModel& model,
+                                      const QueryTargets& targets, int num_samples,
+                                      util::Rng* rng);
+
+/// Draws `count` tuples from the learned joint distribution (unconstrained
+/// ancestral sampling) and returns original-column codes per tuple. This is
+/// the generative capability highlighted for UAE-Q (§6: database generation).
+std::vector<std::vector<int32_t>> SampleTuples(const MadeModel& model, int count,
+                                               util::Rng* rng);
+
+/// Shared helper: fills the per-code weight vector w (length vdomain(vc)) and
+/// optionally log-weights (0 allowed / -1e9 excluded / log w for weights) for
+/// one virtual column under a target, honoring digit-range state on
+/// factorized columns.
+void FillColumnWeights(const data::VirtualSchema& schema, int vc,
+                       const ColumnTarget& target, const DigitRangeState& state,
+                       float* w, float* logw);
+
+}  // namespace uae::core

@@ -1,0 +1,69 @@
+#include "core/targets.h"
+
+#include <algorithm>
+
+namespace uae::core {
+
+QueryTargets BuildTargets(const workload::Query& query, const data::Table& table,
+                          const data::VirtualSchema& schema) {
+  UAE_CHECK_EQ(query.num_cols(), table.num_cols());
+  QueryTargets targets;
+  targets.cols.resize(static_cast<size_t>(table.num_cols()));
+  for (int c = 0; c < table.num_cols(); ++c) {
+    const workload::Constraint& cons = query.constraint(c);
+    ColumnTarget& t = targets.cols[static_cast<size_t>(c)];
+    int32_t domain = table.column(c).domain();
+    if (!cons.IsActive()) {
+      t.kind = ColumnTarget::Kind::kWildcard;
+      continue;
+    }
+    if (cons.kind == workload::Constraint::Kind::kRange) {
+      t.kind = ColumnTarget::Kind::kRange;
+      t.lo = std::max(cons.lo, 0);
+      t.hi = std::min(cons.hi, domain - 1);
+      continue;
+    }
+    UAE_CHECK(!schema.IsFactorized(c))
+        << "non-contiguous constraint on factorized column " << c;
+    t.kind = ColumnTarget::Kind::kMask;
+    t.mask = cons.AllowedMask(domain);
+  }
+  return targets;
+}
+
+QueryTargets BuildJoinTargets(const workload::JoinQuery& query,
+                              const data::JoinUniverse& uni,
+                              const data::VirtualSchema& schema) {
+  QueryTargets targets = BuildTargets(query.pred, uni.universe, schema);
+  for (int fc : workload::DownscaleColumns(uni, query.table_mask)) {
+    ColumnTarget& t = targets.cols[static_cast<size_t>(fc)];
+    UAE_CHECK(t.IsWildcard()) << "fanout column carries a predicate";
+    UAE_CHECK(!schema.IsFactorized(fc));
+    t.kind = ColumnTarget::Kind::kWeights;
+    int32_t domain = uni.universe.column(fc).domain();
+    t.weights.resize(static_cast<size_t>(domain));
+    for (int32_t v = 0; v < domain; ++v) {
+      t.weights[static_cast<size_t>(v)] = 1.f / static_cast<float>(v + 1);
+    }
+  }
+  return targets;
+}
+
+void DigitRangeState::DigitBounds(const data::VirtualSchema& schema, int vc,
+                                  int32_t range_lo, int32_t range_hi,
+                                  int32_t* digit_lo, int32_t* digit_hi) const {
+  const data::VirtualColumn& v = schema.vcol(vc);
+  size_t oc = static_cast<size_t>(v.orig_col);
+  *digit_lo = tight_lo_[oc] ? schema.Digit(vc, range_lo) : 0;
+  *digit_hi = tight_hi_[oc] ? schema.Digit(vc, range_hi) : v.domain - 1;
+}
+
+void DigitRangeState::Advance(const data::VirtualSchema& schema, int vc,
+                              int32_t range_lo, int32_t range_hi, int32_t digit) {
+  const data::VirtualColumn& v = schema.vcol(vc);
+  size_t oc = static_cast<size_t>(v.orig_col);
+  if (tight_lo_[oc] && digit != schema.Digit(vc, range_lo)) tight_lo_[oc] = 0;
+  if (tight_hi_[oc] && digit != schema.Digit(vc, range_hi)) tight_hi_[oc] = 0;
+}
+
+}  // namespace uae::core

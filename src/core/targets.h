@@ -1,0 +1,75 @@
+// Query targets: the per-original-column sampling directives consumed by
+// progressive sampling (inference) and DPS (training).
+//
+// A column is either unconstrained (wildcard-skipped, §4.6), restricted to an
+// allowed set (range / arbitrary mask), or — for join estimation over the
+// full-outer-join universe — carries a *weight vector* w(v) = 1/F implementing
+// NeuroCard-style fanout downscaling. The "zero-out probabilities outside R"
+// step of Alg. 2 (line 7) is the special case w(v) = 1(v in R).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/factorization.h"
+#include "data/imdb_star.h"
+#include "workload/join_workload.h"
+#include "workload/query.h"
+
+namespace uae::core {
+
+struct ColumnTarget {
+  enum class Kind {
+    kWildcard,  ///< Unconstrained: skipped entirely.
+    kRange,     ///< Codes in [lo, hi] — the only kind valid on factorized cols.
+    kMask,      ///< Arbitrary allowed set (!=, IN).
+    kWeights,   ///< Per-code weights (join fanout downscaling).
+  };
+  Kind kind = Kind::kWildcard;
+  int32_t lo = 0;
+  int32_t hi = -1;
+  std::vector<uint8_t> mask;    ///< kMask: length = original domain.
+  std::vector<float> weights;   ///< kWeights: length = original domain.
+
+  bool IsWildcard() const { return kind == Kind::kWildcard; }
+};
+
+/// Per-original-column targets for one query.
+struct QueryTargets {
+  std::vector<ColumnTarget> cols;
+};
+
+/// Compiles a single-table query. Non-contiguous constraints (!=, IN) on
+/// factorized columns are unsupported (checked).
+QueryTargets BuildTargets(const workload::Query& query, const data::Table& table,
+                          const data::VirtualSchema& schema);
+
+/// Compiles a join query over the universe: predicates + indicator constraints
+/// from `query.pred`, plus 1/F weight targets on the fanout columns of tables
+/// outside the join subset.
+QueryTargets BuildJoinTargets(const workload::JoinQuery& query,
+                              const data::JoinUniverse& uni,
+                              const data::VirtualSchema& schema);
+
+/// Tracks tight-lower/tight-upper digit state for factorized range targets
+/// during sequential sampling. One instance per sample row.
+class DigitRangeState {
+ public:
+  explicit DigitRangeState(int num_original_cols)
+      : tight_lo_(static_cast<size_t>(num_original_cols), 1),
+        tight_hi_(static_cast<size_t>(num_original_cols), 1) {}
+
+  /// Allowed digit interval of virtual column `vc` under a kRange target.
+  void DigitBounds(const data::VirtualSchema& schema, int vc, int32_t range_lo,
+                   int32_t range_hi, int32_t* digit_lo, int32_t* digit_hi) const;
+
+  /// Updates tightness after sampling `digit` for virtual column `vc`.
+  void Advance(const data::VirtualSchema& schema, int vc, int32_t range_lo,
+               int32_t range_hi, int32_t digit);
+
+ private:
+  std::vector<uint8_t> tight_lo_;
+  std::vector<uint8_t> tight_hi_;
+};
+
+}  // namespace uae::core

@@ -1,0 +1,145 @@
+// UAE — the unified deep autoregressive estimator (§4). One ResMADE model,
+// three training modes sharing the same parameters:
+//
+//   * UAE-D  (TrainData...)   : unsupervised L_data only — equivalent to Naru.
+//   * UAE-Q  (TrainQuery...)  : supervised L_query via DPS only.
+//   * UAE    (TrainHybrid...) : L = L_data + lambda * L_query  (Alg. 3).
+//
+// The same object also ingests incremental data (more L_data steps on the new
+// tuples) and incremental query workloads (more L_query steps) — §4.5 — and
+// supports join cardinalities when constructed over a JoinUniverse (§4.6).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/dps.h"
+#include "core/made.h"
+#include "core/progressive.h"
+#include "core/targets.h"
+#include "data/imdb_star.h"
+#include "data/table.h"
+#include "nn/optimizer.h"
+#include "util/status.h"
+#include "workload/join_workload.h"
+#include "workload/query.h"
+
+namespace uae::core {
+
+struct UaeConfig {
+  // Model architecture.
+  int hidden = 64;
+  int blocks = 1;
+  data::EncoderKind encoder = data::EncoderKind::kBinary;
+  int embed_dim = 16;
+  int32_t factor_threshold = 2048;  ///< Domains above this are factorized.
+  int factor_bits = 8;
+
+  // Optimization.
+  float lr = 2e-3f;
+  int data_batch = 512;
+  /// Wildcard skipping (§4.6) is always on, Naru-style: per training row the
+  /// number of wildcarded columns is drawn uniformly in [0, n]. This field is
+  /// kept for API stability; it no longer changes behaviour.
+  float wildcard_prob = 0.25f;
+  float grad_clip = 8.f;
+
+  // Supervised part (UAE-Q / hybrid).
+  int dps_samples = 32;    ///< S (paper: 200; scaled for the CPU substrate).
+  int query_batch = 16;    ///< Queries per DPS step.
+  float tau = 1.0f;        ///< Gumbel-Softmax temperature.
+  float lambda = 1e-4f;    ///< Trade-off hyper-parameter (Eq. 11).
+
+  // Inference.
+  int ps_samples = 200;    ///< Progressive-sampling estimate samples.
+
+  uint64_t seed = 1;
+};
+
+/// Per-epoch progress report passed to training callbacks.
+struct TrainStats {
+  int epoch = 0;
+  double data_loss = 0.0;
+  double query_loss = 0.0;
+  double seconds = 0.0;
+};
+using TrainCallback = std::function<void(const TrainStats&)>;
+
+class Uae {
+ public:
+  /// Single-table estimator over `table` (must outlive the estimator).
+  Uae(const data::Table& table, const UaeConfig& config);
+  /// Join estimator over a full-outer-join universe (must outlive this).
+  Uae(const data::JoinUniverse& universe, const UaeConfig& config);
+
+  // ---- Training -------------------------------------------------------------
+  /// UAE-D / Naru: unsupervised epochs over the data.
+  void TrainDataEpochs(int epochs, const TrainCallback& cb = nullptr);
+  /// UAE-Q: supervised DPS steps over a labeled workload.
+  void TrainQuerySteps(const workload::Workload& workload, int steps,
+                       const TrainCallback& cb = nullptr);
+  void TrainQuerySteps(const workload::JoinWorkload& workload, int steps,
+                       const TrainCallback& cb = nullptr);
+  /// UAE hybrid (Alg. 3): each step draws a data batch and a query batch and
+  /// minimizes L_data + lambda * L_query.
+  void TrainHybridEpochs(const workload::Workload& workload, int epochs,
+                         const TrainCallback& cb = nullptr);
+  void TrainHybridEpochs(const workload::JoinWorkload& workload, int epochs,
+                         const TrainCallback& cb = nullptr);
+
+  // ---- Incremental ingestion (§4.5) ----------------------------------------
+  /// Appends new tuples and runs unsupervised epochs on the new data only.
+  void IngestDataRows(const data::Table& delta, int epochs);
+  /// Adapts to a shifted workload with a few supervised epochs (10-20 small
+  /// epochs suffice to avoid catastrophic forgetting, per §4.5).
+  void IngestWorkload(const workload::Workload& workload, int epochs);
+
+  // ---- Estimation -----------------------------------------------------------
+  double EstimateSelectivity(const workload::Query& query) const;
+  double EstimateCard(const workload::Query& query) const;
+  double EstimateJoinCard(const workload::JoinQuery& query) const;
+  /// Estimate plus the progressive-sampling Monte-Carlo standard error.
+  PsEstimate EstimateWithError(const workload::Query& query) const;
+
+  /// Generative sampling of tuples (original-column codes).
+  std::vector<std::vector<int32_t>> Sample(int count) const;
+
+  // ---- Introspection / persistence ------------------------------------------
+  size_t SizeBytes() const { return model_->SizeBytes(); }
+  size_t num_rows() const { return num_rows_; }
+  const MadeModel& model() const { return *model_; }
+  const data::VirtualSchema& schema() const { return schema_; }
+  util::Status Save(const std::string& path) const;
+  util::Status Load(const std::string& path);
+
+ private:
+  void Init(const data::Table& table, const UaeConfig& config);
+  /// One optimizer step for the given loss graph.
+  double StepLoss(const nn::Tensor& loss);
+  nn::Tensor BuildDataLoss(const std::vector<size_t>& rows);
+  nn::Tensor BuildQueryLoss(const std::vector<const QueryTargets*>& targets,
+                            const std::vector<double>& sels);
+  /// Compiles (and caches nothing — cheap) targets for a workload.
+  std::vector<QueryTargets> CompileTargets(const workload::Workload& w) const;
+  std::vector<QueryTargets> CompileTargets(const workload::JoinWorkload& w) const;
+  void HybridLoop(const std::vector<QueryTargets>& targets,
+                  const std::vector<double>& sels, int epochs,
+                  const TrainCallback& cb);
+  void QueryLoop(const std::vector<QueryTargets>& targets,
+                 const std::vector<double>& sels, int steps, const TrainCallback& cb);
+
+  const data::Table* table_ = nullptr;
+  const data::JoinUniverse* universe_ = nullptr;
+  UaeConfig config_;
+  data::VirtualSchema schema_;
+  std::unique_ptr<MadeModel> model_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  /// Columnar virtual-code store of the training rows.
+  std::vector<std::vector<int32_t>> vcodes_;
+  size_t num_rows_ = 0;
+  mutable util::Rng rng_;
+};
+
+}  // namespace uae::core

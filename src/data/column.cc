@@ -1,0 +1,74 @@
+#include "data/column.h"
+
+#include <algorithm>
+
+namespace uae::data {
+
+Column Column::FromValues(std::string name, const std::vector<Value>& values) {
+  Column col;
+  col.name_ = std::move(name);
+  col.dict_ = values;
+  std::sort(col.dict_.begin(), col.dict_.end());
+  col.dict_.erase(std::unique(col.dict_.begin(), col.dict_.end()), col.dict_.end());
+  col.codes_.reserve(values.size());
+  for (const auto& v : values) {
+    auto it = std::lower_bound(col.dict_.begin(), col.dict_.end(), v);
+    col.codes_.push_back(static_cast<int32_t>(it - col.dict_.begin()));
+  }
+  return col;
+}
+
+Column Column::FromInts(std::string name, const std::vector<int64_t>& values) {
+  std::vector<int64_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  Column col;
+  col.name_ = std::move(name);
+  col.dict_.reserve(sorted.size());
+  for (int64_t v : sorted) col.dict_.emplace_back(v);
+  col.codes_.reserve(values.size());
+  for (int64_t v : values) {
+    auto it = std::lower_bound(sorted.begin(), sorted.end(), v);
+    col.codes_.push_back(static_cast<int32_t>(it - sorted.begin()));
+  }
+  return col;
+}
+
+Column Column::FromCodes(std::string name, std::vector<int32_t> codes, int32_t domain) {
+  Column col;
+  col.name_ = std::move(name);
+  col.dict_.reserve(static_cast<size_t>(domain));
+  for (int32_t c = 0; c < domain; ++c) col.dict_.emplace_back(static_cast<int64_t>(c));
+#ifndef NDEBUG
+  for (int32_t c : codes) UAE_DCHECK(c >= 0 && c < domain);
+#endif
+  col.codes_ = std::move(codes);
+  return col;
+}
+
+std::optional<int32_t> Column::CodeForValue(const Value& v) const {
+  auto it = std::lower_bound(dict_.begin(), dict_.end(), v);
+  if (it == dict_.end() || !(*it == v)) return std::nullopt;
+  return static_cast<int32_t>(it - dict_.begin());
+}
+
+int32_t Column::LowerBoundCode(const Value& v) const {
+  auto it = std::lower_bound(dict_.begin(), dict_.end(), v);
+  return static_cast<int32_t>(it - dict_.begin());
+}
+
+int32_t Column::UpperBoundCode(const Value& v) const {
+  auto it = std::upper_bound(dict_.begin(), dict_.end(), v);
+  return static_cast<int32_t>(it - dict_.begin());
+}
+
+const std::vector<int64_t>& Column::Frequencies() const {
+  if (freq_dirty_) {
+    freq_.assign(dict_.size(), 0);
+    for (int32_t c : codes_) ++freq_[static_cast<size_t>(c)];
+    freq_dirty_ = false;
+  }
+  return freq_;
+}
+
+}  // namespace uae::data

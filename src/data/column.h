@@ -1,0 +1,61 @@
+// Dictionary-encoded column with an *order-preserving* dictionary: code order
+// equals value order, so range predicates on values become code intervals.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/value.h"
+#include "util/common.h"
+
+namespace uae::data {
+
+class Column {
+ public:
+  Column() = default;
+  /// Builds the sorted dictionary from raw values and encodes every row.
+  static Column FromValues(std::string name, const std::vector<Value>& values);
+  /// Fast path for integer data: dictionary = sorted distinct ints.
+  static Column FromInts(std::string name, const std::vector<int64_t>& values);
+  /// Builds a column directly from codes with an implicit dictionary 0..domain-1
+  /// (codes *are* the values). Used by synthetic generators.
+  static Column FromCodes(std::string name, std::vector<int32_t> codes, int32_t domain);
+
+  const std::string& name() const { return name_; }
+  size_t num_rows() const { return codes_.size(); }
+  int32_t domain() const { return static_cast<int32_t>(dict_.size()); }
+  const std::vector<int32_t>& codes() const { return codes_; }
+  int32_t code_at(size_t row) const { return codes_[row]; }
+
+  const Value& ValueForCode(int32_t code) const {
+    UAE_DCHECK(code >= 0 && code < domain());
+    return dict_[static_cast<size_t>(code)];
+  }
+
+  /// Exact code for a value, if present.
+  std::optional<int32_t> CodeForValue(const Value& v) const;
+  /// Smallest code whose value is >= v (== domain() if none).
+  int32_t LowerBoundCode(const Value& v) const;
+  /// Smallest code whose value is > v (== domain() if none).
+  int32_t UpperBoundCode(const Value& v) const;
+
+  /// Per-code frequencies (lazily computed, cached).
+  const std::vector<int64_t>& Frequencies() const;
+
+  void AppendCode(int32_t code) {
+    UAE_DCHECK(code >= 0 && code < domain());
+    codes_.push_back(code);
+    freq_dirty_ = true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<Value> dict_;  // Sorted ascending.
+  std::vector<int32_t> codes_;
+  mutable std::vector<int64_t> freq_;
+  mutable bool freq_dirty_ = true;
+};
+
+}  // namespace uae::data

@@ -1,0 +1,64 @@
+#include "data/csv_table.h"
+
+#include <charconv>
+
+#include "util/csv.h"
+
+namespace uae::data {
+
+util::Status WriteTableCsv(const Table& table, const std::string& path) {
+  util::CsvDocument doc;
+  for (const auto& c : table.columns()) doc.header.push_back(c.name());
+  doc.rows.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    std::vector<std::string> row;
+    row.reserve(static_cast<size_t>(table.num_cols()));
+    for (int c = 0; c < table.num_cols(); ++c) {
+      const Column& col = table.column(c);
+      row.push_back(col.ValueForCode(col.code_at(r)).ToString());
+    }
+    doc.rows.push_back(std::move(row));
+  }
+  return util::WriteCsv(path, doc);
+}
+
+util::Result<Table> ReadTableCsv(const std::string& path, const std::string& name) {
+  auto doc_or = util::ReadCsv(path);
+  if (!doc_or.ok()) return doc_or.status();
+  const util::CsvDocument& doc = doc_or.value();
+  const size_t n_cols = doc.header.size();
+  for (const auto& row : doc.rows) {
+    if (row.size() != n_cols) {
+      return util::Status::InvalidArgument("ragged CSV row in " + path);
+    }
+  }
+  std::vector<Column> cols;
+  cols.reserve(n_cols);
+  for (size_t c = 0; c < n_cols; ++c) {
+    // Probe: does every field parse as an integer?
+    bool all_int = true;
+    std::vector<int64_t> ints;
+    ints.reserve(doc.rows.size());
+    for (const auto& row : doc.rows) {
+      int64_t v = 0;
+      auto [ptr, ec] =
+          std::from_chars(row[c].data(), row[c].data() + row[c].size(), v);
+      if (ec != std::errc() || ptr != row[c].data() + row[c].size()) {
+        all_int = false;
+        break;
+      }
+      ints.push_back(v);
+    }
+    if (all_int && !doc.rows.empty()) {
+      cols.push_back(Column::FromInts(doc.header[c], ints));
+    } else {
+      std::vector<Value> vals;
+      vals.reserve(doc.rows.size());
+      for (const auto& row : doc.rows) vals.emplace_back(row[c]);
+      cols.push_back(Column::FromValues(doc.header[c], vals));
+    }
+  }
+  return Table(name, std::move(cols));
+}
+
+}  // namespace uae::data

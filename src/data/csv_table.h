@@ -1,0 +1,17 @@
+// Table <-> CSV conversion for dataset persistence and external inspection.
+#pragma once
+
+#include <string>
+
+#include "data/table.h"
+#include "util/status.h"
+
+namespace uae::data {
+
+util::Status WriteTableCsv(const Table& table, const std::string& path);
+
+/// Loads a CSV into a dictionary-encoded table. Fields that parse as int64
+/// become integer columns; everything else becomes string columns.
+util::Result<Table> ReadTableCsv(const std::string& path, const std::string& name);
+
+}  // namespace uae::data

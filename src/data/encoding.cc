@@ -1,0 +1,45 @@
+#include "data/encoding.h"
+
+#include "util/common.h"
+
+namespace uae::data {
+
+int BinaryBits(int32_t domain) {
+  UAE_CHECK_GT(domain, 0);
+  int bits = 1;
+  while ((int64_t{1} << bits) < domain) ++bits;
+  return bits;
+}
+
+int EncodedWidth(EncoderKind kind, int32_t domain, int embed_dim) {
+  switch (kind) {
+    case EncoderKind::kBinary:
+      return BinaryBits(domain) + 1;
+    case EncoderKind::kOneHot:
+      return domain + 1;
+    case EncoderKind::kEmbedding:
+      return embed_dim;
+  }
+  return 0;
+}
+
+nn::Mat BinaryEncodingMatrix(int32_t domain) {
+  int bits = BinaryBits(domain);
+  nn::Mat enc(domain + 1, bits + 1);
+  for (int32_t c = 0; c < domain; ++c) {
+    for (int b = 0; b < bits; ++b) {
+      enc.at(c, b) = (c >> b) & 1 ? 1.f : 0.f;
+    }
+    enc.at(c, bits) = 0.f;  // Not a wildcard.
+  }
+  enc.at(domain, bits) = 1.f;  // Wildcard row: zero bits + flag.
+  return enc;
+}
+
+nn::Mat OneHotEncodingMatrix(int32_t domain) {
+  nn::Mat enc(domain + 1, domain + 1);
+  for (int32_t c = 0; c <= domain; ++c) enc.at(c, c) = 1.f;
+  return enc;
+}
+
+}  // namespace uae::data

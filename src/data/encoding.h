@@ -1,0 +1,38 @@
+// Tuple encoders for the autoregressive model's input (§4.2 "Encoding Tuples").
+//
+// Each (virtual) column is encoded by an *encoding matrix* with domain+1 rows:
+// row c encodes code c; the extra last row encodes the wildcard token used for
+// unqueried / skipped columns (§4.6). Binary encoding appends one wildcard
+// flag bit; embeddings learn the wildcard row like any other.
+//
+// A hard input is a row lookup; the DPS soft input is y^T * E (y a relaxed
+// one-hot over the first `domain` rows), which is what makes progressive
+// sampling differentiable end-to-end.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/mat.h"
+
+namespace uae::data {
+
+enum class EncoderKind {
+  kBinary,   ///< ceil(log2(domain)) bits + wildcard flag; constant matrix.
+  kOneHot,   ///< domain indicator + wildcard flag; constant matrix.
+  kEmbedding ///< learned (domain+1) x dim matrix.
+};
+
+/// Bits needed for a binary code of `domain` distinct values (>= 1).
+int BinaryBits(int32_t domain);
+
+/// Encoded feature width for a column under the given encoder.
+int EncodedWidth(EncoderKind kind, int32_t domain, int embed_dim);
+
+/// Builds the constant binary encoding matrix [(domain+1) x (bits+1)]:
+/// row c = bit pattern of c (LSB first), wildcard row = zeros with flag 1.
+nn::Mat BinaryEncodingMatrix(int32_t domain);
+
+/// Builds the constant one-hot encoding matrix [(domain+1) x (domain+1)].
+nn::Mat OneHotEncodingMatrix(int32_t domain);
+
+}  // namespace uae::data

@@ -1,0 +1,80 @@
+#include "data/factorization.h"
+
+#include "data/encoding.h"
+
+namespace uae::data {
+
+int VirtualSchema::DigitBits(const VirtualColumn& v) const {
+  // All digits use factor_bits_ except an unfactorized passthrough column.
+  return v.num_subs == 1 ? BinaryBits(v.domain) : factor_bits_;
+}
+
+VirtualSchema VirtualSchema::Build(const Table& table, int32_t factor_threshold,
+                                   int factor_bits) {
+  UAE_CHECK_GT(factor_bits, 0);
+  VirtualSchema vs;
+  vs.factor_bits_ = factor_bits;
+  vs.orig_to_virtual_.resize(static_cast<size_t>(table.num_cols()));
+  for (int oc = 0; oc < table.num_cols(); ++oc) {
+    int32_t domain = table.column(oc).domain();
+    bool factorize = factor_threshold > 0 && domain > factor_threshold;
+    if (!factorize) {
+      VirtualColumn v;
+      v.orig_col = oc;
+      v.sub_index = 0;
+      v.num_subs = 1;
+      v.shift_bits = 0;
+      v.domain = domain;
+      vs.orig_to_virtual_[static_cast<size_t>(oc)].push_back(vs.num_virtual());
+      vs.vcols_.push_back(v);
+      continue;
+    }
+    int total_bits = BinaryBits(domain);
+    int num_subs = (total_bits + factor_bits - 1) / factor_bits;
+    for (int s = 0; s < num_subs; ++s) {
+      VirtualColumn v;
+      v.orig_col = oc;
+      v.sub_index = s;
+      v.num_subs = num_subs;
+      v.shift_bits = (num_subs - 1 - s) * factor_bits;
+      if (s == 0) {
+        // Most significant digit: only as many values as the domain requires.
+        v.domain = static_cast<int32_t>(((domain - 1) >> v.shift_bits) + 1);
+      } else {
+        v.domain = 1 << factor_bits;
+      }
+      vs.orig_to_virtual_[static_cast<size_t>(oc)].push_back(vs.num_virtual());
+      vs.vcols_.push_back(v);
+    }
+  }
+  return vs;
+}
+
+void VirtualSchema::EncodeRow(const std::vector<int32_t>& orig_codes,
+                              std::vector<int32_t>* virtual_codes) const {
+  UAE_DCHECK(orig_codes.size() == orig_to_virtual_.size());
+  virtual_codes->clear();
+  virtual_codes->reserve(vcols_.size());
+  for (size_t vc = 0; vc < vcols_.size(); ++vc) {
+    const VirtualColumn& v = vcols_[vc];
+    int32_t code = orig_codes[static_cast<size_t>(v.orig_col)];
+    if (v.num_subs == 1) {
+      virtual_codes->push_back(code);
+    } else {
+      virtual_codes->push_back(Digit(static_cast<int>(vc), code));
+    }
+  }
+}
+
+int32_t VirtualSchema::Compose(int orig_col, const std::vector<int32_t>& digits) const {
+  const auto& vcs = orig_to_virtual_[static_cast<size_t>(orig_col)];
+  UAE_CHECK_EQ(digits.size(), vcs.size());
+  int32_t code = 0;
+  for (size_t i = 0; i < vcs.size(); ++i) {
+    const VirtualColumn& v = vcols_[static_cast<size_t>(vcs[i])];
+    code |= digits[i] << v.shift_bits;
+  }
+  return code;
+}
+
+}  // namespace uae::data

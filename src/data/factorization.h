@@ -1,0 +1,65 @@
+// Column factorization for very-large-NDV columns (§4.6): a dictionary code is
+// sliced into base-2^b digits (most-significant first), each digit becoming a
+// *virtual column* of the autoregressive model. Range predicates on the
+// original column are pushed down onto the digit sequence by the samplers
+// using tight-lower/tight-upper bound tracking.
+//
+// The VirtualSchema is the single source of truth mapping original columns to
+// virtual columns; the whole core/ module operates on virtual columns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/table.h"
+
+namespace uae::data {
+
+struct VirtualColumn {
+  int orig_col = 0;    ///< Index of the original column.
+  int sub_index = 0;   ///< 0 = most significant digit; 0 only for unfactorized.
+  int num_subs = 1;    ///< Total digits of the original column.
+  int shift_bits = 0;  ///< Bits below this digit in the original code.
+  int32_t domain = 0;  ///< Distinct values of this virtual column.
+};
+
+class VirtualSchema {
+ public:
+  /// Columns whose domain exceeds `factor_threshold` are split into digits of
+  /// `factor_bits` bits. threshold<=0 disables factorization entirely.
+  static VirtualSchema Build(const Table& table, int32_t factor_threshold,
+                             int factor_bits);
+
+  int num_virtual() const { return static_cast<int>(vcols_.size()); }
+  int num_original() const { return static_cast<int>(orig_to_virtual_.size()); }
+  const VirtualColumn& vcol(int i) const { return vcols_[static_cast<size_t>(i)]; }
+  const std::vector<int>& VirtualsOf(int orig_col) const {
+    return orig_to_virtual_[static_cast<size_t>(orig_col)];
+  }
+  bool IsFactorized(int orig_col) const {
+    return orig_to_virtual_[static_cast<size_t>(orig_col)].size() > 1;
+  }
+
+  /// Digit of `code` for virtual column `vc`.
+  int32_t Digit(int vc, int32_t code) const {
+    const VirtualColumn& v = vcols_[static_cast<size_t>(vc)];
+    return static_cast<int32_t>((static_cast<uint32_t>(code) >> v.shift_bits) &
+                                ((1u << DigitBits(v)) - 1));
+  }
+
+  /// Encodes an original-code row into virtual codes (appends to out).
+  void EncodeRow(const std::vector<int32_t>& orig_codes,
+                 std::vector<int32_t>* virtual_codes) const;
+
+  /// Reassembles an original code from its digit codes (testing).
+  int32_t Compose(int orig_col, const std::vector<int32_t>& digits) const;
+
+ private:
+  int DigitBits(const VirtualColumn& v) const;
+
+  std::vector<VirtualColumn> vcols_;
+  std::vector<std::vector<int>> orig_to_virtual_;
+  int factor_bits_ = 0;
+};
+
+}  // namespace uae::data

@@ -1,0 +1,212 @@
+#include "data/imdb_star.h"
+
+#include <algorithm>
+
+namespace uae::data {
+
+namespace {
+constexpr int32_t kYearDom = 100;
+constexpr int32_t kKindDom = 7;
+constexpr int32_t kGenreDom = 24;
+constexpr int32_t kRatingDom = 10;
+
+int32_t CorrelatedCode(int32_t parent, int32_t parent_dom, int32_t dom, double noise_p,
+                       util::Rng* rng) {
+  int64_t mapped = static_cast<int64_t>(parent) * dom / std::max(1, parent_dom);
+  if (rng->Bernoulli(noise_p)) {
+    mapped = (mapped + rng->Zipf(dom, 1.1)) % dom;
+  }
+  return static_cast<int32_t>(std::clamp<int64_t>(mapped, 0, dom - 1));
+}
+}  // namespace
+
+std::vector<DimTableSpec> DefaultJobLightDims() {
+  return {
+      {"movie_companies", {{"company_id", 200}, {"company_type", 4}}, 3, 0.5, 0},
+      {"movie_info", {{"info_type", 20}, {"info_val", 100}}, 4, 0.0, 2},
+  };
+}
+
+std::vector<DimTableSpec> JobMDims() {
+  return {
+      {"movie_companies", {{"company_id", 120}, {"company_type", 4}}, 3, 0.5, 0},
+      {"movie_info", {{"info_type", 20}, {"info_val", 60}}, 2, 0.0, 2},
+      {"movie_keyword", {{"keyword_id", 150}}, 2, 0.3, 2},
+      {"cast_info", {{"person_id", 200}, {"role_id", 8}}, 2, 0.2, 0},
+      {"movie_language", {{"lang_id", 30}}, 1, 0.0, 1},
+  };
+}
+
+JoinUniverse BuildImdbStar(const ImdbStarConfig& config) {
+  util::Rng rng(config.seed);
+  const size_t n = config.num_titles;
+  std::vector<DimTableSpec> dims =
+      config.dims.empty() ? DefaultJobLightDims() : config.dims;
+  const size_t nd = dims.size();
+
+  // ---- Fact table: title ----------------------------------------------------
+  const std::vector<std::pair<const char*, int32_t>> fact_spec = {
+      {"production_year", kYearDom},
+      {"kind_id", kKindDom},
+      {"genre", kGenreDom},
+      {"rating", kRatingDom}};
+  std::vector<std::vector<int32_t>> fact(fact_spec.size(),
+                                         std::vector<int32_t>(n));
+  for (size_t i = 0; i < n; ++i) {
+    int32_t year = static_cast<int32_t>(rng.Zipf(kYearDom, 1.0));
+    fact[0][i] = year;
+    fact[1][i] = CorrelatedCode(year, kYearDom, kKindDom, 0.4, &rng);
+    fact[2][i] = static_cast<int32_t>(rng.Zipf(kGenreDom, 1.1));
+    fact[3][i] = CorrelatedCode(fact[2][i], kGenreDom, kRatingDom, 0.5, &rng);
+  }
+
+  // ---- Dimension rows per title ---------------------------------------------
+  // dim_rows[d][title] = list of content tuples for that title.
+  std::vector<std::vector<std::vector<std::vector<int32_t>>>> dim_rows(nd);
+  for (size_t d = 0; d < nd; ++d) {
+    dim_rows[d].resize(n);
+    const DimTableSpec& spec = dims[d];
+    for (size_t i = 0; i < n; ++i) {
+      double recent = 1.0 - static_cast<double>(fact[0][i]) / kYearDom;
+      int cnt = static_cast<int>(rng.UniformInt(0, spec.max_fanout));
+      if (rng.Bernoulli(recent * spec.recent_bias)) {
+        cnt = std::min(spec.max_fanout, cnt + 1);
+      }
+      int32_t driver = fact[static_cast<size_t>(spec.correlate_with)][i];
+      int32_t driver_dom = fact_spec[static_cast<size_t>(spec.correlate_with)].second;
+      for (int j = 0; j < cnt; ++j) {
+        std::vector<int32_t> row;
+        row.reserve(spec.content.size());
+        for (size_t c = 0; c < spec.content.size(); ++c) {
+          int32_t dom = spec.content[c].second;
+          if (c == 0) {
+            row.push_back(CorrelatedCode(driver, driver_dom, dom, 0.35, &rng));
+          } else {
+            row.push_back(static_cast<int32_t>(rng.Zipf(dom, 0.8)));
+          }
+        }
+        dim_rows[d][i].push_back(std::move(row));
+      }
+    }
+  }
+
+  // ---- Base tables (for the optimizer's executor) ----------------------------
+  JoinUniverse uni;
+  {
+    std::vector<Column> cols;
+    for (size_t c = 0; c < fact_spec.size(); ++c) {
+      cols.push_back(Column::FromCodes(fact_spec[c].first,
+                                       std::vector<int32_t>(fact[c]),
+                                       fact_spec[c].second));
+    }
+    uni.base_tables.push_back(Table("title", std::move(cols)));
+  }
+  for (size_t d = 0; d < nd; ++d) {
+    const DimTableSpec& spec = dims[d];
+    std::vector<int32_t> movie_ids;
+    std::vector<std::vector<int32_t>> content(spec.content.size());
+    for (size_t i = 0; i < n; ++i) {
+      for (const auto& row : dim_rows[d][i]) {
+        movie_ids.push_back(static_cast<int32_t>(i));
+        for (size_t c = 0; c < spec.content.size(); ++c) content[c].push_back(row[c]);
+      }
+    }
+    std::vector<Column> cols;
+    cols.push_back(
+        Column::FromCodes("movie_id", std::move(movie_ids), static_cast<int32_t>(n)));
+    for (size_t c = 0; c < spec.content.size(); ++c) {
+      cols.push_back(Column::FromCodes(spec.content[c].first, std::move(content[c]),
+                                       spec.content[c].second));
+    }
+    uni.base_tables.push_back(Table(spec.name, std::move(cols)));
+  }
+
+  // ---- Materialize the full outer join ----------------------------------------
+  // Universe columns: fact content, then per dim [ind, content...], then fanouts.
+  std::vector<std::vector<int32_t>> ucols;
+  std::vector<std::pair<std::string, int32_t>> ucol_spec;
+  for (size_t c = 0; c < fact_spec.size(); ++c) {
+    ucol_spec.emplace_back(fact_spec[c].first, fact_spec[c].second);
+  }
+  std::vector<int> dim_ind_col(nd), dim_content_start(nd), dim_fanout_col(nd);
+  for (size_t d = 0; d < nd; ++d) {
+    dim_ind_col[d] = static_cast<int>(ucol_spec.size());
+    ucol_spec.emplace_back(dims[d].name + "_ind", 2);
+    dim_content_start[d] = static_cast<int>(ucol_spec.size());
+    for (const auto& [cname, cdom] : dims[d].content) {
+      ucol_spec.emplace_back(dims[d].name + "." + cname, cdom + 1);  // +NULL.
+    }
+  }
+  for (size_t d = 0; d < nd; ++d) {
+    dim_fanout_col[d] = static_cast<int>(ucol_spec.size());
+    ucol_spec.emplace_back("fanout_" + dims[d].name,
+                           std::max(1, dims[d].max_fanout));
+  }
+  ucols.assign(ucol_spec.size(), {});
+
+  std::vector<size_t> radix(nd), counter(nd);
+  for (size_t i = 0; i < n; ++i) {
+    size_t combos = 1;
+    for (size_t d = 0; d < nd; ++d) {
+      radix[d] = std::max<size_t>(1, dim_rows[d][i].size());
+      combos *= radix[d];
+    }
+    std::fill(counter.begin(), counter.end(), 0);
+    for (size_t combo = 0; combo < combos; ++combo) {
+      // Fact content.
+      for (size_t c = 0; c < fact_spec.size(); ++c) ucols[c].push_back(fact[c][i]);
+      // Dimensions.
+      for (size_t d = 0; d < nd; ++d) {
+        bool matched = !dim_rows[d][i].empty();
+        ucols[static_cast<size_t>(dim_ind_col[d])].push_back(matched ? 1 : 0);
+        for (size_t c = 0; c < dims[d].content.size(); ++c) {
+          int32_t v = matched
+                          ? dim_rows[d][i][static_cast<size_t>(counter[d])][c] + 1
+                          : 0;
+          ucols[static_cast<size_t>(dim_content_start[d]) + c].push_back(v);
+        }
+        ucols[static_cast<size_t>(dim_fanout_col[d])].push_back(
+            static_cast<int32_t>(radix[d]) - 1);
+      }
+      // Mixed-radix increment.
+      for (size_t d = 0; d < nd; ++d) {
+        if (++counter[d] < radix[d]) break;
+        counter[d] = 0;
+      }
+    }
+  }
+
+  std::vector<Column> cols;
+  cols.reserve(ucol_spec.size());
+  for (size_t c = 0; c < ucol_spec.size(); ++c) {
+    cols.push_back(Column::FromCodes(ucol_spec[c].first, std::move(ucols[c]),
+                                     ucol_spec[c].second));
+  }
+  uni.universe = Table("imdb_join_universe", std::move(cols));
+  uni.full_join_rows = uni.universe.num_rows();
+
+  // ---- Table metadata ----------------------------------------------------------
+  JoinTableInfo title;
+  title.name = "title";
+  title.content_cols = {0, 1, 2, 3};
+  title.base_table = 0;
+  title.base_content_cols = {0, 1, 2, 3};
+  title.code_shift = 0;
+  uni.tables.push_back(title);
+  for (size_t d = 0; d < nd; ++d) {
+    JoinTableInfo info;
+    info.name = dims[d].name;
+    for (size_t c = 0; c < dims[d].content.size(); ++c) {
+      info.content_cols.push_back(dim_content_start[d] + static_cast<int>(c));
+      info.base_content_cols.push_back(static_cast<int>(c) + 1);  // After movie_id.
+    }
+    info.indicator_col = dim_ind_col[d];
+    info.fanout_col = dim_fanout_col[d];
+    info.base_table = static_cast<int>(d) + 1;
+    info.code_shift = 1;
+    uni.tables.push_back(info);
+  }
+  return uni;
+}
+
+}  // namespace uae::data

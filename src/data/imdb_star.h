@@ -1,0 +1,92 @@
+// Synthetic IMDB-like star schema and its full-outer-join universe — the
+// substrate for the paper's join experiments (Table 5, Figure 6).
+//
+// Following NeuroCard [77] / DeepDB [31] (the construction UAE §4.6 adopts),
+// the cardinality of a join query over a table subset S is expressed over the
+// full outer join J of all tables:
+//
+//   Card_S(q) = sum_{x in J} 1(pred(x) ∧ ind_T(x)=1 ∀ T∈S\{fact}) ·
+//               prod_{T ∉ S} 1 / F_T(x)
+//
+// where ind_T marks rows genuinely matched (vs NULL-extended) and F_T is the
+// join fanout of x's fact tuple into T (floored at 1). The universe is small
+// enough here to materialize, which gives exact ground truth; estimators train
+// on uniform samples of J — exactly what a uniform join sampler (Exact Weight
+// [80]) would produce.
+//
+// The builder is parameterized by the dimension-table list so the same code
+// produces the 3-table JOB-light analog (Table 5) and the 6-table JOB-M-like
+// schema of the query-optimization study (Figure 6). Base tables are emitted
+// alongside the universe for the mini optimizer's hash-join executor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "util/rng.h"
+
+namespace uae::data {
+
+/// One dimension table hanging off the fact table (N:1 into `title`).
+struct DimTableSpec {
+  std::string name;
+  /// Content columns: (name, domain). Universe copies get +1 domains (NULL).
+  std::vector<std::pair<std::string, int32_t>> content;
+  int max_fanout = 3;          ///< Rows per title in [0, max_fanout].
+  double recent_bias = 0.4;    ///< Extra-fanout probability for recent titles.
+  int correlate_with = 0;      ///< Fact column driving the content correlation.
+};
+
+struct ImdbStarConfig {
+  size_t num_titles = 20000;
+  uint64_t seed = 7;
+  /// Empty => the default 3-table JOB-light template (mc + mi).
+  std::vector<DimTableSpec> dims;
+};
+
+/// Per-table metadata inside the join universe.
+struct JoinTableInfo {
+  std::string name;
+  std::vector<int> content_cols;  ///< Universe column indices of this table's columns.
+  int indicator_col = -1;         ///< 0/1 matched indicator (-1 for the fact table).
+  int fanout_col = -1;            ///< Fanout column F_T, code = F-1 (-1 for fact).
+  /// Mapping to the base table (for the optimizer's executor): universe
+  /// content col i corresponds to base column base_content_cols[i]; dimension
+  /// codes are shifted by +1 in the universe (code 0 = NULL).
+  int base_table = -1;
+  std::vector<int> base_content_cols;
+  int32_t code_shift = 0;
+};
+
+struct JoinUniverse {
+  Table universe;                      ///< The materialized full outer join J.
+  std::vector<JoinTableInfo> tables;   ///< [0] = fact table (title).
+  size_t full_join_rows = 0;           ///< |J|.
+  /// Base tables: [0] = title (content cols only; row index = title id);
+  /// dims have column 0 = movie_id followed by content columns.
+  std::vector<Table> base_tables;
+
+  int NumTables() const { return static_cast<int>(tables.size()); }
+  /// Fanout value (>=1) for table t at universe row r.
+  int FanoutAt(int t, size_t row) const {
+    int fc = tables[static_cast<size_t>(t)].fanout_col;
+    return fc < 0 ? 1 : universe.column(fc).code_at(row) + 1;
+  }
+};
+
+/// The default 3-table template of Table 5 (title, movie_companies,
+/// movie_info).
+std::vector<DimTableSpec> DefaultJobLightDims();
+
+/// Five dimension tables (JOB-M-like complexity) for the Figure 6 study.
+std::vector<DimTableSpec> JobMDims();
+
+/// Generates base tables and materializes the full outer join universe.
+/// Universe column order: title content (production_year, kind_id, genre,
+/// rating), then per dimension [indicator, content...], then all fanouts.
+/// NULL-extended dimension values use dedicated code 0, real values shift +1.
+JoinUniverse BuildImdbStar(const ImdbStarConfig& config);
+
+}  // namespace uae::data

@@ -1,0 +1,53 @@
+#include "data/stats.h"
+
+#include <algorithm>
+
+#include "util/mathutil.h"
+#include "util/string_util.h"
+
+namespace uae::data {
+
+DatasetStats ComputeStats(const Table& table, int max_pairs) {
+  DatasetStats s;
+  s.rows = table.num_rows();
+  s.cols = table.num_cols();
+  s.min_domain = table.column(0).domain();
+  s.max_domain = table.column(0).domain();
+  double skew_total = 0.0;
+  int skew_count = 0;
+  for (int i = 0; i < table.num_cols(); ++i) {
+    const Column& c = table.column(i);
+    s.min_domain = std::min(s.min_domain, c.domain());
+    s.max_domain = std::max(s.max_domain, c.domain());
+    // Skewness of the row-value distribution, computed on codes (the paper's
+    // statistic is over column values; codes are order-preserving).
+    std::vector<double> vals(c.codes().begin(), c.codes().end());
+    if (c.domain() > 2) {
+      skew_total += std::abs(util::Skewness(vals));
+      ++skew_count;
+    }
+  }
+  s.skewness = skew_count > 0 ? skew_total / skew_count : 0.0;
+
+  // Pairwise NMI over up to max_pairs adjacent-ish pairs.
+  double corr_total = 0.0;
+  int corr_count = 0;
+  for (int i = 0; i < table.num_cols() && corr_count < max_pairs; ++i) {
+    for (int j = i + 1; j < table.num_cols() && corr_count < max_pairs; ++j) {
+      corr_total += util::NormalizedMutualInformation(
+          table.column(i).codes(), table.column(i).domain(), table.column(j).codes(),
+          table.column(j).domain());
+      ++corr_count;
+    }
+  }
+  s.correlation = corr_count > 0 ? corr_total / corr_count : 0.0;
+  return s;
+}
+
+std::string FormatStats(const DatasetStats& s) {
+  return util::StrFormat(
+      "rows=%zu cols=%d domains=[%d,%d] skew=%.2f corr(NMI)=%.3f", s.rows, s.cols,
+      s.min_domain, s.max_domain, s.skewness, s.correlation);
+}
+
+}  // namespace uae::data

@@ -1,0 +1,29 @@
+// Dataset statistics the paper reports in §5.1.1: Fisher–Pearson skewness and
+// an NCIE-style nonlinear correlation (we use normalized mutual information).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+
+namespace uae::data {
+
+struct DatasetStats {
+  size_t rows = 0;
+  int cols = 0;
+  int32_t min_domain = 0;
+  int32_t max_domain = 0;
+  /// Mean per-column Fisher–Pearson skewness of the value-frequency spectrum.
+  double skewness = 0.0;
+  /// Mean pairwise normalized mutual information over sampled column pairs.
+  double correlation = 0.0;
+};
+
+/// Computes the table statistics. `max_pairs` bounds the number of column
+/// pairs used for the correlation estimate (important for Kdd's 100 columns).
+DatasetStats ComputeStats(const Table& table, int max_pairs = 64);
+
+std::string FormatStats(const DatasetStats& s);
+
+}  // namespace uae::data

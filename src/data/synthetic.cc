@@ -1,0 +1,150 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uae::data {
+
+namespace {
+
+/// Derives a child code correlated with `parent`: an affine map over the child
+/// domain plus Zipf noise applied with probability `noise_p`. Produces strong
+/// but non-deterministic dependence.
+int32_t Derive(int32_t parent, int32_t parent_domain, int32_t child_domain,
+               double noise_p, util::Rng* rng) {
+  int64_t mapped =
+      static_cast<int64_t>(parent) * child_domain / std::max(1, parent_domain);
+  if (rng->Bernoulli(noise_p)) {
+    int64_t jitter = rng->Zipf(child_domain, 1.1);
+    mapped = (mapped + jitter) % child_domain;
+  }
+  return static_cast<int32_t>(std::clamp<int64_t>(mapped, 0, child_domain - 1));
+}
+
+}  // namespace
+
+Table SyntheticDmv(size_t rows, uint64_t seed) {
+  util::Rng rng(seed);
+  const int32_t kYearDom = 1000, kWeightDom = 256, kCountyDom = 64, kColorDom = 32,
+                kBodyDom = 16, kStateDom = 9, kClassDom = 5, kFuelDom = 3;
+  std::vector<int32_t> record_type(rows), reg_class(rows), state(rows), county(rows),
+      body_type(rows), fuel_type(rows), color(rows), scofflaw(rows), suspended(rows),
+      weight(rows), model_year(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    // Root draws: heavy Zipf skew as in the real DMV registration data.
+    int32_t year = static_cast<int32_t>(rng.Zipf(kYearDom, 1.15));
+    int32_t cty = static_cast<int32_t>(rng.Zipf(kCountyDom, 1.2));
+    model_year[i] = year;
+    county[i] = cty;
+    state[i] = static_cast<int32_t>(rng.Zipf(kStateDom, 1.6));
+    // Correlated chain: year -> weight -> body -> class -> record type.
+    weight[i] = Derive(year, kYearDom, kWeightDom, 0.25, &rng);
+    body_type[i] = Derive(weight[i], kWeightDom, kBodyDom, 0.2, &rng);
+    reg_class[i] = Derive(body_type[i], kBodyDom, kClassDom, 0.2, &rng);
+    record_type[i] = reg_class[i] == 0 ? 0 : (rng.Bernoulli(0.9) ? 1 : 0);
+    // Two-parent interactions (beyond what a tree Bayes net can represent),
+    // mirroring the real DMV's higher-order dependencies.
+    fuel_type[i] = rng.Bernoulli(0.25)
+                       ? static_cast<int32_t>(rng.UniformInt(0, kFuelDom - 1))
+                       : (year / 128 + state[i]) % kFuelDom;
+    color[i] = rng.Bernoulli(0.3)
+                   ? static_cast<int32_t>(rng.Zipf(kColorDom, 1.1))
+                   : (cty * 7 + body_type[i] * 11) % kColorDom;
+    // Rare flags, county-correlated (tail regions for the estimators).
+    double flag_p = 0.01 + 0.04 * (static_cast<double>(cty) / kCountyDom);
+    scofflaw[i] = rng.Bernoulli(flag_p) ? 1 : 0;
+    suspended[i] = rng.Bernoulli(flag_p * (scofflaw[i] ? 4.0 : 1.0)) ? 1 : 0;
+  }
+  std::vector<Column> cols;
+  cols.push_back(Column::FromCodes("record_type", std::move(record_type), 2));
+  cols.push_back(Column::FromCodes("reg_class", std::move(reg_class), kClassDom));
+  cols.push_back(Column::FromCodes("state", std::move(state), kStateDom));
+  cols.push_back(Column::FromCodes("county", std::move(county), kCountyDom));
+  cols.push_back(Column::FromCodes("body_type", std::move(body_type), kBodyDom));
+  cols.push_back(Column::FromCodes("fuel_type", std::move(fuel_type), kFuelDom));
+  cols.push_back(Column::FromCodes("color", std::move(color), kColorDom));
+  cols.push_back(Column::FromCodes("scofflaw", std::move(scofflaw), 2));
+  cols.push_back(Column::FromCodes("suspended", std::move(suspended), 2));
+  cols.push_back(Column::FromCodes("weight", std::move(weight), kWeightDom));
+  cols.push_back(Column::FromCodes("model_year", std::move(model_year), kYearDom));
+  return Table("dmv_synth", std::move(cols));
+}
+
+Table SyntheticCensus(size_t rows, uint64_t seed) {
+  util::Rng rng(seed);
+  // Domain ladder mirroring the Census mix of categorical/numeric columns.
+  const std::vector<std::pair<const char*, int32_t>> spec = {
+      {"sex", 2},           {"workclass", 7},  {"education", 16},
+      {"marital", 7},       {"occupation", 15}, {"relationship", 6},
+      {"race", 5},          {"country", 42},    {"capital_gain", 52},
+      {"capital_loss", 21}, {"hours", 75},      {"fnlwgt_bin", 99},
+      {"age", 123},         {"income", 10},
+  };
+  const int n = static_cast<int>(spec.size());
+  std::vector<std::vector<int32_t>> codes(static_cast<size_t>(n),
+                                          std::vector<int32_t>(rows));
+  for (size_t i = 0; i < rows; ++i) {
+    // Mild skew (s=0.6) and weak correlations: a couple of noisy derivations.
+    int32_t age = static_cast<int32_t>(rng.Zipf(spec[12].second, 0.6));
+    codes[12][i] = age;
+    codes[2][i] = Derive(age, spec[12].second, spec[2].second, 0.7, &rng);
+    codes[10][i] = Derive(age, spec[12].second, spec[10].second, 0.7, &rng);
+    codes[13][i] = Derive(codes[2][i], spec[2].second, spec[13].second, 0.6, &rng);
+    for (int c : {0, 1, 3, 4, 5, 6, 7, 8, 9, 11}) {
+      codes[static_cast<size_t>(c)][i] =
+          static_cast<int32_t>(rng.Zipf(spec[static_cast<size_t>(c)].second, 0.6));
+    }
+  }
+  std::vector<Column> cols;
+  for (int c = 0; c < n; ++c) {
+    cols.push_back(Column::FromCodes(spec[static_cast<size_t>(c)].first,
+                                     std::move(codes[static_cast<size_t>(c)]),
+                                     spec[static_cast<size_t>(c)].second));
+  }
+  return Table("census_synth", std::move(cols));
+}
+
+Table SyntheticKdd(size_t rows, uint64_t seed) {
+  util::Rng rng(seed);
+  const int kCols = 100;
+  const int kGroupSize = 5;  // 20 independent groups of 5 correlated columns.
+  const int32_t kDomains[] = {43, 2, 9, 25, 5};
+  std::vector<std::vector<int32_t>> codes(kCols, std::vector<int32_t>(rows));
+  for (size_t i = 0; i < rows; ++i) {
+    for (int g = 0; g < kCols / kGroupSize; ++g) {
+      int base = g * kGroupSize;
+      int32_t lead_dom = kDomains[0];
+      int32_t lead = static_cast<int32_t>(rng.Zipf(lead_dom, 1.3));
+      codes[static_cast<size_t>(base)][i] = lead;
+      for (int k = 1; k < kGroupSize; ++k) {
+        int32_t dom = kDomains[k];
+        codes[static_cast<size_t>(base + k)][i] = Derive(lead, lead_dom, dom, 0.3, &rng);
+      }
+    }
+  }
+  std::vector<Column> cols;
+  cols.reserve(kCols);
+  for (int c = 0; c < kCols; ++c) {
+    cols.push_back(Column::FromCodes("f" + std::to_string(c),
+                                     std::move(codes[static_cast<size_t>(c)]),
+                                     kDomains[c % kGroupSize]));
+  }
+  return Table("kddcup_synth", std::move(cols));
+}
+
+Table TinyCorrelated(size_t rows, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<int32_t> a(rows), b(rows), c(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    a[i] = static_cast<int32_t>(rng.Zipf(8, 1.0));
+    b[i] = rng.Bernoulli(0.85) ? a[i] % 4 : static_cast<int32_t>(rng.UniformInt(0, 3));
+    c[i] = rng.Bernoulli(0.7) ? (a[i] + b[i]) % 6 : static_cast<int32_t>(rng.UniformInt(0, 5));
+  }
+  std::vector<Column> cols;
+  cols.push_back(Column::FromCodes("a", std::move(a), 8));
+  cols.push_back(Column::FromCodes("b", std::move(b), 4));
+  cols.push_back(Column::FromCodes("c", std::move(c), 6));
+  return Table("tiny", std::move(cols));
+}
+
+}  // namespace uae::data

@@ -1,0 +1,30 @@
+// Synthetic dataset generators standing in for the paper's real datasets
+// (DMV, Census, Kddcup98 — §5.1.1). Each generator matches its original's
+// column count, domain-size ladder, skewness regime and correlation
+// structure; see DESIGN.md §2 for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+
+#include "data/table.h"
+#include "util/rng.h"
+
+namespace uae::data {
+
+/// DMV analog: 11 columns, domains 2..1000, strong Zipf skew and strong
+/// functional correlations (paper: skew 4.9, NCIE 0.23).
+Table SyntheticDmv(size_t rows, uint64_t seed);
+
+/// Census analog: 14 columns, domains 2..123, mild skew / weak correlation
+/// (paper: skew 2.1, NCIE 0.15). Default scale matches the original 48K rows.
+Table SyntheticCensus(size_t rows, uint64_t seed);
+
+/// Kddcup98 analog: 100 columns, domains 2..43, clustered correlations with
+/// many mutually independent groups (paper: skew 4.7, NCIE 0.32).
+Table SyntheticKdd(size_t rows, uint64_t seed);
+
+/// A tiny strongly-correlated 3-column table used by unit tests and the
+/// quickstart example (deterministic joint distribution).
+Table TinyCorrelated(size_t rows, uint64_t seed);
+
+}  // namespace uae::data

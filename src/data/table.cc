@@ -1,0 +1,60 @@
+#include "data/table.h"
+
+#include <algorithm>
+
+namespace uae::data {
+
+Table::Table(std::string name, std::vector<Column> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {
+  UAE_CHECK(!columns_.empty());
+  num_rows_ = columns_[0].num_rows();
+  for (const auto& c : columns_) {
+    UAE_CHECK_EQ(c.num_rows(), num_rows_) << "ragged columns in table " << name_;
+  }
+}
+
+int Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name() == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<int32_t> Table::RowCodes(size_t row) const {
+  UAE_DCHECK(row < num_rows_);
+  std::vector<int32_t> out(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) out[i] = columns_[i].code_at(row);
+  return out;
+}
+
+int Table::LargestDomainColumn() const {
+  int best = 0;
+  for (int i = 1; i < num_cols(); ++i) {
+    if (columns_[static_cast<size_t>(i)].domain() >
+        columns_[static_cast<size_t>(best)].domain()) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+void Table::AppendRowCodes(const std::vector<int32_t>& codes) {
+  UAE_CHECK_EQ(codes.size(), columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) columns_[i].AppendCode(codes[i]);
+  ++num_rows_;
+}
+
+Table Table::Slice(size_t begin, size_t end, const std::string& new_name) const {
+  UAE_CHECK(begin <= end && end <= num_rows_);
+  std::vector<Column> cols;
+  cols.reserve(columns_.size());
+  for (const auto& c : columns_) {
+    std::vector<int32_t> codes(c.codes().begin() + static_cast<ptrdiff_t>(begin),
+                               c.codes().begin() + static_cast<ptrdiff_t>(end));
+    // Preserve the parent dictionary by re-using domain-sized code dictionary.
+    cols.push_back(Column::FromCodes(c.name(), std::move(codes), c.domain()));
+  }
+  return Table(new_name, std::move(cols));
+}
+
+}  // namespace uae::data

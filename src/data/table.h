@@ -1,0 +1,44 @@
+// A relation: a set of equally-sized dictionary-encoded columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/column.h"
+
+namespace uae::data {
+
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, std::vector<Column> columns);
+
+  const std::string& name() const { return name_; }
+  size_t num_rows() const { return num_rows_; }
+  int num_cols() const { return static_cast<int>(columns_.size()); }
+  const Column& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+  Column& mutable_column(int i) { return columns_[static_cast<size_t>(i)]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column with the given name; -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+
+  /// Codes of one row across all columns.
+  std::vector<int32_t> RowCodes(size_t row) const;
+
+  /// The column with the largest domain (the paper's "bounded attribute").
+  int LargestDomainColumn() const;
+
+  /// Appends a row given per-column codes (for incremental-data experiments).
+  void AppendRowCodes(const std::vector<int32_t>& codes);
+
+  /// A new table containing rows [begin, end).
+  Table Slice(size_t begin, size_t end, const std::string& new_name) const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace uae::data

@@ -1,0 +1,32 @@
+#include "data/value.h"
+
+#include "util/common.h"
+
+namespace uae::data {
+
+bool Value::operator<(const Value& o) const {
+  UAE_CHECK(type() == o.type()) << "comparing values of different types";
+  switch (type()) {
+    case ValueType::kInt:
+      return AsInt() < o.AsInt();
+    case ValueType::kDouble:
+      return AsDouble() < o.AsDouble();
+    case ValueType::kString:
+      return AsString() < o.AsString();
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble:
+      return std::to_string(AsDouble());
+    case ValueType::kString:
+      return AsString();
+  }
+  return "";
+}
+
+}  // namespace uae::data

@@ -1,0 +1,42 @@
+// A typed cell value. Columns are dictionary-encoded; Value appears only at
+// the boundary (building tables, printing, CSV I/O) — the hot paths work on
+// int32 dictionary codes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace uae::data {
+
+enum class ValueType { kInt = 0, kDouble = 1, kString = 2 };
+
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+
+  ValueType type() const { return static_cast<ValueType>(v_.index()); }
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Numeric view: ints and doubles promote; strings are not numeric.
+  bool IsNumeric() const { return type() != ValueType::kString; }
+  double Numeric() const {
+    return type() == ValueType::kInt ? static_cast<double>(AsInt()) : AsDouble();
+  }
+
+  /// Total order within one type (used to build order-preserving dictionaries).
+  bool operator<(const Value& o) const;
+  bool operator==(const Value& o) const { return v_ == o.v_; }
+
+  std::string ToString() const;
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+}  // namespace uae::data

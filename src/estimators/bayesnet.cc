@@ -1,0 +1,202 @@
+#include "estimators/bayesnet.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/mathutil.h"
+#include "util/rng.h"
+
+namespace uae::estimators {
+
+BayesNetEstimator::BayesNetEstimator(const data::Table& table, size_t mi_sample_rows,
+                                     double alpha, uint64_t seed)
+    : table_(&table), alpha_(alpha) {
+  const int n = table.num_cols();
+  util::Rng rng(seed);
+
+  // --- Structure: Chow-Liu maximum spanning tree on pairwise MI -------------
+  size_t m = std::min(mi_sample_rows, table.num_rows());
+  std::vector<size_t> rows = rng.SampleWithoutReplacement(table.num_rows(), m);
+  std::vector<std::vector<int32_t>> sampled(static_cast<size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    auto& v = sampled[static_cast<size_t>(c)];
+    v.reserve(m);
+    for (size_t r : rows) v.push_back(table.column(c).code_at(r));
+  }
+  // Prim's algorithm with edge weight = MI(i,j), computed on demand.
+  std::vector<double> best(static_cast<size_t>(n), -1.0);
+  std::vector<int> best_from(static_cast<size_t>(n), -1);
+  std::vector<uint8_t> in_tree(static_cast<size_t>(n), 0);
+  parents_.assign(static_cast<size_t>(n), -1);
+  in_tree[0] = 1;
+  root_ = 0;
+  for (int c = 1; c < n; ++c) {
+    best[static_cast<size_t>(c)] = util::MutualInformation(
+        sampled[0], table.column(0).domain(), sampled[static_cast<size_t>(c)],
+        table.column(c).domain());
+    best_from[static_cast<size_t>(c)] = 0;
+  }
+  for (int added = 1; added < n; ++added) {
+    int pick = -1;
+    for (int c = 0; c < n; ++c) {
+      if (in_tree[static_cast<size_t>(c)]) continue;
+      if (pick < 0 || best[static_cast<size_t>(c)] > best[static_cast<size_t>(pick)]) {
+        pick = c;
+      }
+    }
+    in_tree[static_cast<size_t>(pick)] = 1;
+    parents_[static_cast<size_t>(pick)] = best_from[static_cast<size_t>(pick)];
+    for (int c = 0; c < n; ++c) {
+      if (in_tree[static_cast<size_t>(c)]) continue;
+      double mi = util::MutualInformation(
+          sampled[static_cast<size_t>(pick)], table.column(pick).domain(),
+          sampled[static_cast<size_t>(c)], table.column(c).domain());
+      if (mi > best[static_cast<size_t>(c)]) {
+        best[static_cast<size_t>(c)] = mi;
+        best_from[static_cast<size_t>(c)] = pick;
+      }
+    }
+  }
+  children_.assign(static_cast<size_t>(n), {});
+  for (int c = 0; c < n; ++c) {
+    if (parents_[static_cast<size_t>(c)] >= 0) {
+      children_[static_cast<size_t>(parents_[static_cast<size_t>(c)])].push_back(c);
+    }
+  }
+
+  // --- Parameters: marginals + sparse CPTs on the full data -----------------
+  marginals_.assign(static_cast<size_t>(n), {});
+  for (int c = 0; c < n; ++c) {
+    const auto& freq = table.column(c).Frequencies();
+    auto& marg = marginals_[static_cast<size_t>(c)];
+    marg.resize(freq.size());
+    double denom = static_cast<double>(table.num_rows()) +
+                   alpha_ * static_cast<double>(freq.size());
+    for (size_t v = 0; v < freq.size(); ++v) {
+      marg[v] = (static_cast<double>(freq[v]) + alpha_) / denom;
+    }
+  }
+  root_marginal_ = marginals_[static_cast<size_t>(root_)];
+
+  cpt_.assign(static_cast<size_t>(n), {});
+  for (int c = 0; c < n; ++c) {
+    int p = parents_[static_cast<size_t>(c)];
+    if (p < 0) continue;
+    // Count joint occurrences.
+    std::unordered_map<int32_t, std::unordered_map<int32_t, int64_t>> counts;
+    const auto& pcodes = table.column(p).codes();
+    const auto& ccodes = table.column(c).codes();
+    for (size_t r = 0; r < pcodes.size(); ++r) {
+      ++counts[pcodes[r]][ccodes[r]];
+    }
+    auto& table_c = cpt_[static_cast<size_t>(c)];
+    int32_t child_domain = table.column(c).domain();
+    for (auto& [pcode, dist] : counts) {
+      int64_t total = 0;
+      for (const auto& [cc, cnt] : dist) total += cnt;
+      SparseDist sd;
+      sd.codes.reserve(dist.size());
+      sd.probs.reserve(dist.size());
+      double denom = static_cast<double>(total) + alpha_ * child_domain;
+      for (const auto& [cc, cnt] : dist) {
+        sd.codes.push_back(cc);
+        sd.probs.push_back(
+            static_cast<float>((static_cast<double>(cnt) + alpha_) / denom));
+      }
+      size_bytes_ += sd.codes.size() * (sizeof(int32_t) + sizeof(float));
+      table_c.emplace(pcode, std::move(sd));
+    }
+  }
+  for (const auto& marg : marginals_) size_bytes_ += marg.size() * sizeof(double);
+}
+
+std::vector<double> BayesNetEstimator::SubtreeMessage(
+    int child, const workload::Query& query) const {
+  const int parent = parents_[static_cast<size_t>(child)];
+  const int32_t parent_domain = table_->column(parent).domain();
+  const int32_t child_domain = table_->column(child).domain();
+  const workload::Constraint& cons = query.constraint(child);
+  const double alpha = alpha_;
+
+  // Inner messages from this child's own children.
+  std::vector<std::vector<double>> inner;
+  for (int grandchild : children_[static_cast<size_t>(child)]) {
+    inner.push_back(SubtreeMessage(grandchild, query));
+  }
+  // phi(child_code) = 1(in region) * prod inner messages.
+  auto phi = [&](int32_t code) {
+    if (cons.IsActive() && !cons.Matches(code)) return 0.0;
+    double v = 1.0;
+    for (const auto& msg : inner) v *= msg[static_cast<size_t>(code)];
+    return v;
+  };
+  // Precompute sum over child codes of the *smoothing floor* contribution and
+  // the phi values (dense over the child's domain).
+  std::vector<double> phis(static_cast<size_t>(child_domain));
+  double phi_total = 0.0;
+  for (int32_t cc = 0; cc < child_domain; ++cc) {
+    phis[static_cast<size_t>(cc)] = phi(cc);
+    phi_total += phis[static_cast<size_t>(cc)];
+  }
+
+  std::vector<double> out(static_cast<size_t>(parent_domain));
+  const auto& table_c = cpt_[static_cast<size_t>(child)];
+  const auto& marg = marginals_[static_cast<size_t>(child)];
+  for (int32_t pc = 0; pc < parent_domain; ++pc) {
+    auto it = table_c.find(pc);
+    if (it == table_c.end()) {
+      // Unseen parent code: back off to the child's marginal.
+      double v = 0.0;
+      for (int32_t cc = 0; cc < child_domain; ++cc) {
+        if (phis[static_cast<size_t>(cc)] > 0.0) {
+          v += marg[static_cast<size_t>(cc)] * phis[static_cast<size_t>(cc)];
+        }
+      }
+      out[static_cast<size_t>(pc)] = v;
+      continue;
+    }
+    const SparseDist& sd = it->second;
+    // Total observed mass for this parent code (for the smoothing floor).
+    double denom_total = 0.0;
+    double v = 0.0;
+    for (size_t k = 0; k < sd.codes.size(); ++k) {
+      denom_total += sd.probs[k];
+      v += static_cast<double>(sd.probs[k]) * phis[static_cast<size_t>(sd.codes[k])];
+    }
+    // Unobserved child codes share the remaining smoothed mass uniformly.
+    double leftover = std::max(0.0, 1.0 - denom_total);
+    int64_t unseen = child_domain - static_cast<int64_t>(sd.codes.size());
+    if (unseen > 0 && leftover > 0.0) {
+      double phi_seen = 0.0;
+      for (size_t k = 0; k < sd.codes.size(); ++k) {
+        phi_seen += phis[static_cast<size_t>(sd.codes[k])];
+      }
+      double phi_unseen_sum = phi_total - phi_seen;
+      v += leftover / static_cast<double>(unseen) * phi_unseen_sum;
+    }
+    (void)alpha;
+    out[static_cast<size_t>(pc)] = v;
+  }
+  return out;
+}
+
+double BayesNetEstimator::EstimateCard(const workload::Query& query) const {
+  const workload::Constraint& root_cons = query.constraint(root_);
+  std::vector<std::vector<double>> msgs;
+  for (int child : children_[static_cast<size_t>(root_)]) {
+    msgs.push_back(SubtreeMessage(child, query));
+  }
+  double sel = 0.0;
+  const int32_t domain = table_->column(root_).domain();
+  for (int32_t code = 0; code < domain; ++code) {
+    if (root_cons.IsActive() && !root_cons.Matches(code)) continue;
+    double v = root_marginal_[static_cast<size_t>(code)];
+    for (const auto& m : msgs) v *= m[static_cast<size_t>(code)];
+    sel += v;
+  }
+  return sel * static_cast<double>(table_->num_rows());
+}
+
+size_t BayesNetEstimator::SizeBytes() const { return size_bytes_; }
+
+}  // namespace uae::estimators

@@ -1,0 +1,23 @@
+// Common interface of all cardinality estimators compared in §5. Training
+// happens in the concrete constructors (estimators differ in what they train
+// on: data, queries, or both); estimation is uniform.
+#pragma once
+
+#include <string>
+
+#include "workload/query.h"
+
+namespace uae::estimators {
+
+class CardinalityEstimator {
+ public:
+  virtual ~CardinalityEstimator() = default;
+
+  virtual std::string name() const = 0;
+  /// Estimated cardinality (row count) of a single-table query.
+  virtual double EstimateCard(const workload::Query& query) const = 0;
+  /// Model budget in bytes (the "Size" column of the paper's tables).
+  virtual size_t SizeBytes() const = 0;
+};
+
+}  // namespace uae::estimators

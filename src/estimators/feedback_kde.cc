@@ -1,0 +1,34 @@
+#include "estimators/feedback_kde.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uae::estimators {
+
+double FeedbackKdeEstimator::TuneBandwidths(const workload::Workload& workload,
+                                            int epochs, double learning_rate) {
+  if (workload.empty()) return 0.0;
+  const size_t d = bandwidths_.size();
+  double mse = 0.0;
+  for (int e = 0; e < epochs; ++e) {
+    std::vector<double> grad_total(d, 0.0);
+    mse = 0.0;
+    for (const auto& lq : workload) {
+      std::vector<double> grad_bw;
+      double sel = SelectivityAndGrad(lq.query, &grad_bw);
+      double err = sel - lq.selectivity;
+      mse += err * err;
+      for (size_t i = 0; i < d; ++i) grad_total[i] += 2.0 * err * grad_bw[i];
+    }
+    mse /= static_cast<double>(workload.size());
+    // Multiplicative (log-space) update keeps bandwidths positive.
+    for (size_t i = 0; i < d; ++i) {
+      double g = grad_total[i] / static_cast<double>(workload.size());
+      double step = std::clamp(-learning_rate * g * bandwidths_[i], -0.5, 0.5);
+      bandwidths_[i] = std::max(0.05, bandwidths_[i] * std::exp(step));
+    }
+  }
+  return mse;
+}
+
+}  // namespace uae::estimators

@@ -1,0 +1,105 @@
+#include "estimators/histogram.h"
+
+#include <algorithm>
+
+namespace uae::estimators {
+
+ColumnHistogram::ColumnHistogram(const data::Column& column, int num_buckets) {
+  domain_ = column.domain();
+  total_ = static_cast<int64_t>(column.num_rows());
+  const auto& freq = column.Frequencies();
+  num_buckets = std::min<int>(num_buckets, domain_);
+  int64_t target = (total_ + num_buckets - 1) / num_buckets;
+  int32_t cur_lo = 0;
+  int64_t cur_count = 0;
+  int32_t cur_ndv = 0;
+  for (int32_t c = 0; c < domain_; ++c) {
+    cur_count += freq[static_cast<size_t>(c)];
+    if (freq[static_cast<size_t>(c)] > 0) ++cur_ndv;
+    bool last = c == domain_ - 1;
+    if (cur_count >= target || last) {
+      lo_.push_back(cur_lo);
+      hi_.push_back(c);
+      counts_.push_back(cur_count);
+      ndv_.push_back(std::max(cur_ndv, 1));
+      cur_lo = c + 1;
+      cur_count = 0;
+      cur_ndv = 0;
+    }
+  }
+}
+
+double ColumnHistogram::RangeFraction(int32_t lo, int32_t hi) const {
+  if (total_ == 0 || hi < lo) return 0.0;
+  double rows = 0.0;
+  for (size_t b = 0; b < lo_.size(); ++b) {
+    int32_t olo = std::max(lo, lo_[b]);
+    int32_t ohi = std::min(hi, hi_[b]);
+    if (ohi < olo) continue;
+    double overlap = static_cast<double>(ohi - olo + 1) /
+                     static_cast<double>(hi_[b] - lo_[b] + 1);
+    rows += overlap * static_cast<double>(counts_[b]);
+  }
+  return rows / static_cast<double>(total_);
+}
+
+double ColumnHistogram::PointFraction(int32_t code) const {
+  if (total_ == 0 || code < 0 || code >= domain_) return 0.0;
+  for (size_t b = 0; b < lo_.size(); ++b) {
+    if (code >= lo_[b] && code <= hi_[b]) {
+      // Uniform spread over the bucket's distinct values.
+      return static_cast<double>(counts_[b]) / ndv_[b] / static_cast<double>(total_);
+    }
+  }
+  return 0.0;
+}
+
+double ColumnHistogram::SelectivityOf(const workload::Constraint& c) const {
+  using Kind = workload::Constraint::Kind;
+  switch (c.kind) {
+    case Kind::kNone:
+      return 1.0;
+    case Kind::kRange:
+      if (c.lo == c.hi) return PointFraction(c.lo);
+      return RangeFraction(std::max(c.lo, 0), std::min(c.hi, domain_ - 1));
+    case Kind::kNotEqual:
+      return std::max(0.0, 1.0 - PointFraction(c.neq));
+    case Kind::kIn: {
+      double f = 0.0;
+      for (int32_t code : c.in_codes) f += PointFraction(code);
+      return std::min(1.0, f);
+    }
+  }
+  return 1.0;
+}
+
+size_t ColumnHistogram::SizeBytes() const {
+  return lo_.size() * (2 * sizeof(int32_t) + sizeof(int64_t) + sizeof(int32_t));
+}
+
+HistogramAviEstimator::HistogramAviEstimator(const data::Table& table,
+                                             int buckets_per_column)
+    : table_rows_(table.num_rows()) {
+  hists_.reserve(static_cast<size_t>(table.num_cols()));
+  for (int c = 0; c < table.num_cols(); ++c) {
+    hists_.emplace_back(table.column(c), buckets_per_column);
+  }
+}
+
+double HistogramAviEstimator::EstimateCard(const workload::Query& query) const {
+  double sel = 1.0;
+  for (int c = 0; c < query.num_cols(); ++c) {
+    const workload::Constraint& cons = query.constraint(c);
+    if (!cons.IsActive()) continue;
+    sel *= hists_[static_cast<size_t>(c)].SelectivityOf(cons);
+  }
+  return sel * static_cast<double>(table_rows_);
+}
+
+size_t HistogramAviEstimator::SizeBytes() const {
+  size_t total = 0;
+  for (const auto& h : hists_) total += h.SizeBytes();
+  return total;
+}
+
+}  // namespace uae::estimators

@@ -1,0 +1,133 @@
+#include "estimators/kde.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/mathutil.h"
+
+namespace uae::estimators {
+
+KdeEstimator::KdeEstimator(const data::Table& table, size_t sample_size,
+                           uint64_t seed)
+    : table_rows_(table.num_rows()) {
+  util::Rng rng(seed);
+  n_ = std::min(sample_size, table.num_rows());
+  std::vector<size_t> rows = rng.SampleWithoutReplacement(table.num_rows(), n_);
+  const int d = table.num_cols();
+  sample_.assign(static_cast<size_t>(d), std::vector<double>());
+  for (int c = 0; c < d; ++c) {
+    auto& col = sample_[static_cast<size_t>(c)];
+    col.reserve(n_);
+    for (size_t r : rows) col.push_back(static_cast<double>(table.column(c).code_at(r)));
+  }
+  // Scott's rule: h_i = sigma_i * n^(-1/(d+4)).
+  bandwidths_.resize(static_cast<size_t>(d));
+  double factor = std::pow(static_cast<double>(n_), -1.0 / (d + 4));
+  for (int c = 0; c < d; ++c) {
+    double sigma = std::sqrt(util::Variance(sample_[static_cast<size_t>(c)]));
+    bandwidths_[static_cast<size_t>(c)] = std::max(0.3, sigma * factor);
+  }
+}
+
+std::vector<std::pair<int32_t, int32_t>> KdeEstimator::Intervals(
+    const workload::Constraint& c, int32_t domain) {
+  using Kind = workload::Constraint::Kind;
+  std::vector<std::pair<int32_t, int32_t>> out;
+  switch (c.kind) {
+    case Kind::kNone:
+      out.emplace_back(0, domain - 1);
+      break;
+    case Kind::kRange:
+      out.emplace_back(std::max(c.lo, 0), std::min(c.hi, domain - 1));
+      break;
+    case Kind::kNotEqual:
+      if (c.neq > 0) out.emplace_back(0, c.neq - 1);
+      if (c.neq < domain - 1) out.emplace_back(c.neq + 1, domain - 1);
+      break;
+    case Kind::kIn: {
+      // Merge adjacent codes into runs.
+      int32_t run_lo = -2, run_hi = -2;
+      for (int32_t code : c.in_codes) {
+        if (code == run_hi + 1) {
+          run_hi = code;
+        } else {
+          if (run_lo >= 0) out.emplace_back(run_lo, run_hi);
+          run_lo = run_hi = code;
+        }
+      }
+      if (run_lo >= 0) out.emplace_back(run_lo, run_hi);
+      break;
+    }
+  }
+  return out;
+}
+
+double KdeEstimator::SelectivityAndGrad(const workload::Query& query,
+                                        std::vector<double>* grad_bw) const {
+  const int d = static_cast<int>(sample_.size());
+  // Active columns and their intervals.
+  std::vector<int> active;
+  std::vector<std::vector<std::pair<int32_t, int32_t>>> ivals;
+  for (int c = 0; c < d; ++c) {
+    const workload::Constraint& cons = query.constraint(c);
+    if (!cons.IsActive()) continue;
+    active.push_back(c);
+    // Reconstruct domain from the data range: use max code + 1 heuristic is
+    // wrong for unsampled codes; constraints already carry valid code bounds.
+    int32_t domain = cons.kind == workload::Constraint::Kind::kRange
+                         ? std::max(cons.hi + 1, 1)
+                         : (cons.kind == workload::Constraint::Kind::kNotEqual
+                                ? cons.neq + 2
+                                : (cons.in_codes.empty() ? 1 : cons.in_codes.back() + 1));
+    // A generous upper bound keeps kNone/kNotEqual tails open; Gaussian mass
+    // beyond the data range is negligible anyway.
+    domain = std::max(domain, 1 << 20);
+    ivals.push_back(Intervals(cons, domain));
+  }
+  if (grad_bw != nullptr) grad_bw->assign(static_cast<size_t>(d), 0.0);
+  if (active.empty()) return 1.0;
+
+  double total = 0.0;
+  std::vector<double> mass(active.size());
+  std::vector<double> dmass(active.size());
+  for (size_t s = 0; s < n_; ++s) {
+    double prod = 1.0;
+    for (size_t a = 0; a < active.size(); ++a) {
+      int c = active[a];
+      double x = sample_[static_cast<size_t>(c)][s];
+      double h = bandwidths_[static_cast<size_t>(c)];
+      double m = 0.0, dm = 0.0;
+      for (const auto& [lo, hi] : ivals[a]) {
+        double zl = (static_cast<double>(lo) - 0.5 - x) / h;
+        double zu = (static_cast<double>(hi) + 0.5 - x) / h;
+        m += util::NormalCdf(zu) - util::NormalCdf(zl);
+        dm += (util::NormalPdf(zl) * zl - util::NormalPdf(zu) * zu) / h;
+      }
+      mass[a] = m;
+      dmass[a] = dm;
+      prod *= m;
+    }
+    total += prod;
+    if (grad_bw != nullptr) {
+      for (size_t a = 0; a < active.size(); ++a) {
+        if (mass[a] <= 1e-300) continue;
+        (*grad_bw)[static_cast<size_t>(active[a])] += prod / mass[a] * dmass[a];
+      }
+    }
+  }
+  double inv_n = 1.0 / static_cast<double>(n_);
+  if (grad_bw != nullptr) {
+    for (auto& g : *grad_bw) g *= inv_n;
+  }
+  return total * inv_n;
+}
+
+double KdeEstimator::EstimateCard(const workload::Query& query) const {
+  return SelectivityAndGrad(query, nullptr) * static_cast<double>(table_rows_);
+}
+
+size_t KdeEstimator::SizeBytes() const {
+  return n_ * sample_.size() * sizeof(double) + bandwidths_.size() * sizeof(double);
+}
+
+}  // namespace uae::estimators

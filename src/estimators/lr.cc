@@ -1,0 +1,101 @@
+#include "estimators/lr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.h"
+
+namespace uae::estimators {
+
+std::vector<double> SolveRidge(std::vector<std::vector<double>> a,
+                               std::vector<double> b, double ridge) {
+  const size_t n = a.size();
+  for (size_t i = 0; i < n; ++i) a[i][i] += ridge;
+  // Gaussian elimination with partial pivoting.
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    double diag = a[col][col];
+    if (std::fabs(diag) < 1e-12) continue;  // Degenerate direction: skip.
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      double factor = a[r][col] / diag;
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = std::fabs(a[i][i]) < 1e-12 ? 0.0 : b[i] / a[i][i];
+  }
+  return x;
+}
+
+LrEstimator::LrEstimator(const data::Table& table, double ridge)
+    : table_(&table), ridge_(ridge), table_rows_(table.num_rows()) {}
+
+std::vector<double> LrEstimator::Featurize(const workload::Query& query) const {
+  std::vector<double> f;
+  f.reserve(static_cast<size_t>(table_->num_cols()) * 2 + 1);
+  for (int c = 0; c < table_->num_cols(); ++c) {
+    const workload::Constraint& cons = query.constraint(c);
+    double domain = static_cast<double>(table_->column(c).domain());
+    double lo = 0.0, hi = 1.0;
+    if (cons.IsActive()) {
+      switch (cons.kind) {
+        case workload::Constraint::Kind::kRange:
+          lo = static_cast<double>(std::max(cons.lo, 0)) / domain;
+          hi = static_cast<double>(std::min(cons.hi, table_->column(c).domain() - 1) + 1) /
+               domain;
+          break;
+        case workload::Constraint::Kind::kNotEqual:
+          lo = 0.0;
+          hi = (domain - 1.0) / domain;
+          break;
+        case workload::Constraint::Kind::kIn:
+          lo = 0.0;
+          hi = static_cast<double>(cons.in_codes.size()) / domain;
+          break;
+        case workload::Constraint::Kind::kNone:
+          break;
+      }
+    }
+    f.push_back(lo);
+    f.push_back(hi);
+  }
+  f.push_back(1.0);  // Intercept.
+  return f;
+}
+
+void LrEstimator::Train(const workload::Workload& workload) {
+  UAE_CHECK(!workload.empty());
+  const size_t d = static_cast<size_t>(table_->num_cols()) * 2 + 1;
+  std::vector<std::vector<double>> xtx(d, std::vector<double>(d, 0.0));
+  std::vector<double> xty(d, 0.0);
+  min_log_ = std::log(1.0 / static_cast<double>(table_rows_)) - 2.0;
+  for (const auto& lq : workload) {
+    std::vector<double> x = Featurize(lq.query);
+    double y = std::log(std::max(lq.selectivity, std::exp(min_log_)));
+    for (size_t i = 0; i < d; ++i) {
+      xty[i] += x[i] * y;
+      for (size_t j = 0; j < d; ++j) xtx[i][j] += x[i] * x[j];
+    }
+  }
+  weights_ = SolveRidge(std::move(xtx), std::move(xty), ridge_);
+}
+
+double LrEstimator::EstimateCard(const workload::Query& query) const {
+  UAE_CHECK(!weights_.empty()) << "LR used before Train()";
+  std::vector<double> x = Featurize(query);
+  double y = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) y += x[i] * weights_[i];
+  double sel = std::exp(std::clamp(y, min_log_, 0.0));
+  return sel * static_cast<double>(table_rows_);
+}
+
+}  // namespace uae::estimators

@@ -1,0 +1,42 @@
+// Linear-regression baseline (§5.1.4 #2, [40]): a query is represented as the
+// concatenation of each predicate's domain range (following Dutt et al. [19])
+// and a ridge regression predicts log-selectivity. Closed-form normal
+// equations; the non-DL query-driven counterpart to MSCN.
+#pragma once
+
+#include <vector>
+
+#include "data/table.h"
+#include "estimators/estimator.h"
+#include "workload/query.h"
+
+namespace uae::estimators {
+
+class LrEstimator : public CardinalityEstimator {
+ public:
+  LrEstimator(const data::Table& table, double ridge = 1e-3);
+
+  /// Fits on a labeled workload (query-driven: never sees the data).
+  void Train(const workload::Workload& workload);
+
+  std::string name() const override { return "LR"; }
+  double EstimateCard(const workload::Query& query) const override;
+  size_t SizeBytes() const override { return weights_.size() * sizeof(double); }
+
+  /// Feature vector: per column [lo_frac, hi_frac] + intercept.
+  std::vector<double> Featurize(const workload::Query& query) const;
+
+ private:
+  const data::Table* table_;
+  double ridge_;
+  std::vector<double> weights_;
+  double min_log_ = -20.0;
+  size_t table_rows_;
+};
+
+/// Solves (A + ridge*I) x = b for symmetric positive definite A in place.
+/// Exposed for unit tests.
+std::vector<double> SolveRidge(std::vector<std::vector<double>> a,
+                               std::vector<double> b, double ridge);
+
+}  // namespace uae::estimators

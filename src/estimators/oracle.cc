@@ -1,0 +1,11 @@
+#include "estimators/oracle.h"
+
+#include "workload/executor.h"
+
+namespace uae::estimators {
+
+double OracleEstimator::EstimateCard(const workload::Query& query) const {
+  return static_cast<double>(workload::ExecuteCount(table_, query));
+}
+
+}  // namespace uae::estimators

@@ -1,0 +1,23 @@
+// Oracle estimator returning exact cardinalities via the executor. Used as
+// the "TrueCard" planner of the query-optimization study (Fig. 6) and as a
+// reference in tests.
+#pragma once
+
+#include "data/table.h"
+#include "estimators/estimator.h"
+
+namespace uae::estimators {
+
+class OracleEstimator : public CardinalityEstimator {
+ public:
+  explicit OracleEstimator(const data::Table& table) : table_(table) {}
+
+  std::string name() const override { return "TrueCard"; }
+  double EstimateCard(const workload::Query& query) const override;
+  size_t SizeBytes() const override { return 0; }
+
+ private:
+  const data::Table& table_;
+};
+
+}  // namespace uae::estimators

@@ -1,0 +1,41 @@
+#include "estimators/sampling.h"
+
+#include <algorithm>
+
+#include "workload/executor.h"
+
+namespace uae::estimators {
+
+SamplingEstimator::SamplingEstimator(const data::Table& table, double fraction,
+                                     uint64_t seed)
+    : table_rows_(table.num_rows()) {
+  UAE_CHECK(fraction > 0.0 && fraction <= 1.0);
+  util::Rng rng(seed);
+  size_t k = std::max<size_t>(
+      1, static_cast<size_t>(fraction * static_cast<double>(table.num_rows())));
+  std::vector<size_t> rows = rng.SampleWithoutReplacement(table.num_rows(), k);
+  std::sort(rows.begin(), rows.end());
+  std::vector<data::Column> cols;
+  cols.reserve(static_cast<size_t>(table.num_cols()));
+  for (int c = 0; c < table.num_cols(); ++c) {
+    std::vector<int32_t> codes;
+    codes.reserve(rows.size());
+    for (size_t r : rows) codes.push_back(table.column(c).code_at(r));
+    cols.push_back(data::Column::FromCodes(table.column(c).name(), std::move(codes),
+                                           table.column(c).domain()));
+  }
+  sample_ = data::Table(table.name() + "_sample", std::move(cols));
+}
+
+double SamplingEstimator::EstimateCard(const workload::Query& query) const {
+  int64_t hits = workload::ExecuteCount(sample_, query);
+  return static_cast<double>(hits) / static_cast<double>(sample_.num_rows()) *
+         static_cast<double>(table_rows_);
+}
+
+size_t SamplingEstimator::SizeBytes() const {
+  return sample_.num_rows() * static_cast<size_t>(sample_.num_cols()) *
+         sizeof(int32_t);
+}
+
+}  // namespace uae::estimators

@@ -1,0 +1,29 @@
+// Sampling baseline (§5.1.4 #3): keeps a uniform p-fraction of tuples and
+// scans it per query.
+#pragma once
+
+#include <memory>
+
+#include "data/table.h"
+#include "estimators/estimator.h"
+#include "util/rng.h"
+
+namespace uae::estimators {
+
+class SamplingEstimator : public CardinalityEstimator {
+ public:
+  SamplingEstimator(const data::Table& table, double fraction, uint64_t seed);
+
+  std::string name() const override { return "Sampling"; }
+  double EstimateCard(const workload::Query& query) const override;
+  size_t SizeBytes() const override;
+
+  size_t sample_rows() const { return sample_.num_rows(); }
+  const data::Table& sample() const { return sample_; }
+
+ private:
+  data::Table sample_;
+  size_t table_rows_;
+};
+
+}  // namespace uae::estimators

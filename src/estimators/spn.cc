@@ -1,0 +1,233 @@
+#include "estimators/spn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+#include "util/mathutil.h"
+
+namespace uae::estimators {
+
+SpnEstimator::SpnEstimator(const data::Table& table, const SpnConfig& config)
+    : table_(&table), config_(config) {
+  util::Rng rng(config.seed);
+  std::vector<size_t> rows(table.num_rows());
+  std::iota(rows.begin(), rows.end(), 0);
+  std::vector<int> cols(static_cast<size_t>(table.num_cols()));
+  std::iota(cols.begin(), cols.end(), 0);
+  root_ = Build(rows, cols, 0, &rng);
+}
+
+std::unique_ptr<SpnEstimator::Node> SpnEstimator::MakeLeaf(
+    const std::vector<size_t>& rows, int col) {
+  auto leaf = std::make_unique<Node>();
+  leaf->type = Node::Type::kLeaf;
+  leaf->col = col;
+  int32_t domain = table_->column(col).domain();
+  leaf->hist.assign(static_cast<size_t>(domain), 0.0);
+  for (size_t r : rows) {
+    leaf->hist[static_cast<size_t>(table_->column(col).code_at(r))] += 1.0;
+  }
+  double inv = rows.empty() ? 0.0 : 1.0 / static_cast<double>(rows.size());
+  for (double& v : leaf->hist) v *= inv;
+  size_bytes_ += leaf->hist.size() * sizeof(double);
+  ++n_leaf_;
+  return leaf;
+}
+
+std::unique_ptr<SpnEstimator::Node> SpnEstimator::LeafProduct(
+    const std::vector<size_t>& rows, const std::vector<int>& cols) {
+  if (cols.size() == 1) return MakeLeaf(rows, cols[0]);
+  auto node = std::make_unique<Node>();
+  node->type = Node::Type::kProduct;
+  for (int c : cols) node->children.push_back(MakeLeaf(rows, c));
+  ++n_product_;
+  return node;
+}
+
+std::unique_ptr<SpnEstimator::Node> SpnEstimator::Build(
+    const std::vector<size_t>& rows, const std::vector<int>& cols, int depth,
+    util::Rng* rng) {
+  if (cols.size() == 1 || rows.size() < config_.min_instances ||
+      depth >= config_.max_depth) {
+    return LeafProduct(rows, cols);
+  }
+
+  // --- Try a Product split: connected components under NMI dependence -------
+  size_t m = std::min(config_.nmi_sample_rows, rows.size());
+  std::vector<size_t> srows;
+  srows.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    srows.push_back(rows[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(rows.size()) - 1))]);
+  }
+  std::vector<std::vector<int32_t>> scodes(cols.size());
+  for (size_t ci = 0; ci < cols.size(); ++ci) {
+    auto& v = scodes[ci];
+    v.reserve(m);
+    for (size_t r : srows) v.push_back(table_->column(cols[ci]).code_at(r));
+  }
+  // Union-find over columns.
+  std::vector<size_t> uf(cols.size());
+  std::iota(uf.begin(), uf.end(), 0);
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (uf[x] != x) x = uf[x] = uf[uf[x]];
+    return x;
+  };
+  for (size_t i = 0; i < cols.size(); ++i) {
+    for (size_t j = i + 1; j < cols.size(); ++j) {
+      if (find(i) == find(j)) continue;
+      double nmi = util::NormalizedMutualInformation(
+          scodes[i], table_->column(cols[i]).domain(), scodes[j],
+          table_->column(cols[j]).domain());
+      if (nmi > config_.corr_threshold) uf[find(i)] = find(j);
+    }
+  }
+  std::unordered_map<size_t, std::vector<int>> groups;
+  for (size_t i = 0; i < cols.size(); ++i) groups[find(i)].push_back(cols[i]);
+  if (groups.size() > 1) {
+    auto node = std::make_unique<Node>();
+    node->type = Node::Type::kProduct;
+    for (auto& [rep, group] : groups) {
+      node->children.push_back(Build(rows, group, depth + 1, rng));
+    }
+    ++n_product_;
+    return node;
+  }
+
+  // --- Sum split: 2-means over rows -----------------------------------------
+  const size_t k = 2;
+  std::vector<double> scale(cols.size());
+  for (size_t ci = 0; ci < cols.size(); ++ci) {
+    scale[ci] = 1.0 / std::max<int32_t>(1, table_->column(cols[ci]).domain() - 1);
+  }
+  auto feature = [&](size_t row, size_t ci) {
+    return static_cast<double>(table_->column(cols[ci]).code_at(row)) * scale[ci];
+  };
+  std::vector<std::vector<double>> centers(k, std::vector<double>(cols.size()));
+  for (size_t c = 0; c < k; ++c) {
+    size_t seed_row = rows[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(rows.size()) - 1))];
+    for (size_t ci = 0; ci < cols.size(); ++ci) centers[c][ci] = feature(seed_row, ci);
+  }
+  std::vector<uint8_t> assign(rows.size(), 0);
+  for (int it = 0; it < config_.kmeans_iters; ++it) {
+    for (size_t ri = 0; ri < rows.size(); ++ri) {
+      double d0 = 0.0, d1 = 0.0;
+      for (size_t ci = 0; ci < cols.size(); ++ci) {
+        double f = feature(rows[ri], ci);
+        d0 += (f - centers[0][ci]) * (f - centers[0][ci]);
+        d1 += (f - centers[1][ci]) * (f - centers[1][ci]);
+      }
+      assign[ri] = d1 < d0 ? 1 : 0;
+    }
+    for (size_t c = 0; c < k; ++c) {
+      std::fill(centers[c].begin(), centers[c].end(), 0.0);
+    }
+    std::vector<size_t> counts(k, 0);
+    for (size_t ri = 0; ri < rows.size(); ++ri) {
+      size_t c = assign[ri];
+      ++counts[c];
+      for (size_t ci = 0; ci < cols.size(); ++ci) {
+        centers[c][ci] += feature(rows[ri], ci);
+      }
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      for (double& v : centers[c]) v /= static_cast<double>(counts[c]);
+    }
+  }
+  std::vector<size_t> left, right;
+  for (size_t ri = 0; ri < rows.size(); ++ri) {
+    (assign[ri] == 0 ? left : right).push_back(rows[ri]);
+  }
+  // Degenerate clustering: fall back to a median split on the widest column.
+  if (left.size() < config_.min_instances / 4 ||
+      right.size() < config_.min_instances / 4) {
+    left.clear();
+    right.clear();
+    size_t widest = 0;
+    for (size_t ci = 1; ci < cols.size(); ++ci) {
+      if (table_->column(cols[ci]).domain() >
+          table_->column(cols[widest]).domain()) {
+        widest = ci;
+      }
+    }
+    std::vector<int32_t> vals;
+    vals.reserve(rows.size());
+    for (size_t r : rows) vals.push_back(table_->column(cols[widest]).code_at(r));
+    std::nth_element(vals.begin(), vals.begin() + static_cast<ptrdiff_t>(vals.size() / 2),
+                     vals.end());
+    int32_t median = vals[vals.size() / 2];
+    for (size_t r : rows) {
+      (table_->column(cols[widest]).code_at(r) <= median ? left : right).push_back(r);
+    }
+    if (left.empty() || right.empty()) return LeafProduct(rows, cols);
+  }
+  auto node = std::make_unique<Node>();
+  node->type = Node::Type::kSum;
+  node->weights = {static_cast<double>(left.size()) / rows.size(),
+                   static_cast<double>(right.size()) / rows.size()};
+  node->children.push_back(Build(left, cols, depth + 1, rng));
+  node->children.push_back(Build(right, cols, depth + 1, rng));
+  size_bytes_ += 2 * sizeof(double);
+  ++n_sum_;
+  return node;
+}
+
+double SpnEstimator::Evaluate(
+    const Node& node, const workload::Query& query,
+    const std::unordered_map<int, std::vector<float>>* col_weights) const {
+  switch (node.type) {
+    case Node::Type::kLeaf: {
+      if (col_weights != nullptr) {
+        auto it = col_weights->find(node.col);
+        if (it != col_weights->end()) {
+          double e = 0.0;
+          for (size_t v = 0; v < node.hist.size(); ++v) {
+            e += node.hist[v] * it->second[v];
+          }
+          return e;
+        }
+      }
+      const workload::Constraint& cons = query.constraint(node.col);
+      if (!cons.IsActive()) return 1.0;
+      double mass = 0.0;
+      for (size_t v = 0; v < node.hist.size(); ++v) {
+        if (node.hist[v] > 0.0 && cons.Matches(static_cast<int32_t>(v))) {
+          mass += node.hist[v];
+        }
+      }
+      return mass;
+    }
+    case Node::Type::kProduct: {
+      double p = 1.0;
+      for (const auto& child : node.children) {
+        p *= Evaluate(*child, query, col_weights);
+        if (p == 0.0) break;
+      }
+      return p;
+    }
+    case Node::Type::kSum: {
+      double p = 0.0;
+      for (size_t c = 0; c < node.children.size(); ++c) {
+        p += node.weights[c] * Evaluate(*node.children[c], query, col_weights);
+      }
+      return p;
+    }
+  }
+  return 0.0;
+}
+
+double SpnEstimator::EstimateCard(const workload::Query& query) const {
+  return Evaluate(*root_, query, nullptr) * static_cast<double>(table_->num_rows());
+}
+
+double SpnEstimator::EstimateSelectivityWeighted(
+    const workload::Query& query,
+    const std::unordered_map<int, std::vector<float>>& col_weights) const {
+  return Evaluate(*root_, query, &col_weights);
+}
+
+}  // namespace uae::estimators

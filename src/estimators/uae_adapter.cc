@@ -1,0 +1,9 @@
+#include "estimators/uae_adapter.h"
+
+namespace uae::estimators {
+
+double UaeAdapter::EstimateCard(const workload::Query& query) const {
+  return uae_->EstimateCard(query);
+}
+
+}  // namespace uae::estimators

@@ -1,0 +1,37 @@
+// Low-level compute kernels. All GEMM variants *accumulate* into the output
+// (C += ...), which is what backward passes need; callers zero C first when
+// they want a plain product.
+#pragma once
+
+#include "nn/mat.h"
+
+namespace uae::nn {
+
+/// C += A(m,k) * B(k,n). Parallelized over rows of A for large problems.
+void GemmAccum(const Mat& a, const Mat& b, Mat* c);
+
+/// C += A(m,k) * B(n,k)^T.
+void GemmNtAccum(const Mat& a, const Mat& b, Mat* c);
+
+/// C += A(k,m)^T * B(k,n).
+void GemmTnAccum(const Mat& a, const Mat& b, Mat* c);
+
+/// out[r,:] = in[r,:] + bias[0,:] for every row.
+void AddBiasRows(const Mat& in, const Mat& bias, Mat* out);
+
+/// In-place ReLU.
+void ReluInplace(Mat* m);
+
+/// Row-wise softmax: out[r,:] = softmax(in[r,:]). Stable.
+void SoftmaxRows(const Mat& in, Mat* out);
+
+/// Row-wise log-softmax. Stable.
+void LogSoftmaxRows(const Mat& in, Mat* out);
+
+/// out = a (elementwise) * b.
+void MulElem(const Mat& a, const Mat& b, Mat* out);
+
+/// out += a (elementwise) * b — used by backward passes.
+void MulElemAccum(const Mat& a, const Mat& b, Mat* out);
+
+}  // namespace uae::nn

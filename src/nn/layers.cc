@@ -1,0 +1,53 @@
+#include "nn/layers.h"
+
+namespace uae::nn {
+
+Linear::Linear(int in, int out, const std::string& name, util::Rng* rng)
+    : name_(name) {
+  w_ = Parameter(Mat::KaimingUniform(in, out, rng));
+  b_ = Parameter(Mat::Zeros(1, out));
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  return AddBias(MatMul(x, w_), b_);
+}
+
+void Linear::CollectParams(std::vector<NamedParam>* out) const {
+  out->push_back({name_ + ".w", w_});
+  out->push_back({name_ + ".b", b_});
+}
+
+MaskedLinear::MaskedLinear(Mat mask, const std::string& name, util::Rng* rng)
+    : mask_(std::move(mask)), name_(name) {
+  w_ = Parameter(Mat::KaimingUniform(mask_.rows(), mask_.cols(), rng));
+  b_ = Parameter(Mat::Zeros(1, mask_.cols()));
+}
+
+Tensor MaskedLinear::Forward(const Tensor& x) const {
+  return AddBias(MaskedMatMul(x, w_, mask_), b_);
+}
+
+void MaskedLinear::CollectParams(std::vector<NamedParam>* out) const {
+  out->push_back({name_ + ".w", w_});
+  out->push_back({name_ + ".b", b_});
+}
+
+MadeResidualBlock::MadeResidualBlock(const std::vector<int>& degrees,
+                                     const std::string& name, util::Rng* rng) {
+  Mat mask = HiddenMask(degrees, degrees);
+  fc1_ = MaskedLinear(mask, name + ".fc1", rng);
+  fc2_ = MaskedLinear(std::move(mask), name + ".fc2", rng);
+}
+
+Tensor MadeResidualBlock::Forward(const Tensor& h) const {
+  Tensor t = fc1_.Forward(Relu(h));
+  t = fc2_.Forward(Relu(t));
+  return Add(h, t);
+}
+
+void MadeResidualBlock::CollectParams(std::vector<NamedParam>* out) const {
+  fc1_.CollectParams(out);
+  fc2_.CollectParams(out);
+}
+
+}  // namespace uae::nn

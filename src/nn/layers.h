@@ -1,0 +1,71 @@
+// Parameter-owning layers. Layers are thin: they hold weight tensors and build
+// graph ops in Forward(); autograd handles the rest.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/masks.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace uae::nn {
+
+/// A named trainable tensor, for optimizers and serialization.
+struct NamedParam {
+  std::string name;
+  Tensor tensor;
+};
+
+/// Fully-connected layer: y = x W + b.
+class Linear {
+ public:
+  Linear() = default;
+  Linear(int in, int out, const std::string& name, util::Rng* rng);
+
+  Tensor Forward(const Tensor& x) const;
+  void CollectParams(std::vector<NamedParam>* out) const;
+  int in_features() const { return w_ ? w_->rows() : 0; }
+  int out_features() const { return w_ ? w_->cols() : 0; }
+
+ private:
+  Tensor w_;
+  Tensor b_;
+  std::string name_;
+};
+
+/// MADE masked fully-connected layer: y = x (W ⊙ M) + b, M constant.
+class MaskedLinear {
+ public:
+  MaskedLinear() = default;
+  MaskedLinear(Mat mask, const std::string& name, util::Rng* rng);
+
+  Tensor Forward(const Tensor& x) const;
+  void CollectParams(std::vector<NamedParam>* out) const;
+  const Mat& mask() const { return mask_; }
+
+ private:
+  Mat mask_;
+  Tensor w_;
+  Tensor b_;
+  std::string name_;
+};
+
+/// ResMADE residual block: h + MaskedLinear2(relu(MaskedLinear1(relu(h)))).
+/// Both inner layers use hidden->hidden masks, preserving the AR property.
+class MadeResidualBlock {
+ public:
+  MadeResidualBlock() = default;
+  MadeResidualBlock(const std::vector<int>& degrees, const std::string& name,
+                    util::Rng* rng);
+
+  Tensor Forward(const Tensor& h) const;
+  void CollectParams(std::vector<NamedParam>* out) const;
+
+ private:
+  MaskedLinear fc1_;
+  MaskedLinear fc2_;
+};
+
+}  // namespace uae::nn

@@ -1,0 +1,54 @@
+#include "nn/masks.h"
+
+#include <algorithm>
+
+namespace uae::nn {
+
+std::vector<int> HiddenDegrees(int hidden_units, int n_cols) {
+  UAE_CHECK_GT(hidden_units, 0);
+  UAE_CHECK_GT(n_cols, 0);
+  std::vector<int> degrees(hidden_units);
+  int max_degree = std::max(1, n_cols - 1);
+  for (int k = 0; k < hidden_units; ++k) degrees[k] = (k % max_degree) + 1;
+  return degrees;
+}
+
+Mat InputMask(const std::vector<int>& col_widths,
+              const std::vector<int>& hidden_degrees) {
+  int total = 0;
+  for (int w : col_widths) total += w;
+  Mat mask(total, static_cast<int>(hidden_degrees.size()));
+  int row = 0;
+  for (size_t j = 0; j < col_widths.size(); ++j) {
+    int d = static_cast<int>(j) + 1;  // Input degree of column j.
+    for (int f = 0; f < col_widths[j]; ++f, ++row) {
+      for (size_t k = 0; k < hidden_degrees.size(); ++k) {
+        mask.at(row, static_cast<int>(k)) = hidden_degrees[k] >= d ? 1.f : 0.f;
+      }
+    }
+  }
+  return mask;
+}
+
+Mat HiddenMask(const std::vector<int>& degrees_in, const std::vector<int>& degrees_out) {
+  Mat mask(static_cast<int>(degrees_in.size()), static_cast<int>(degrees_out.size()));
+  for (size_t i = 0; i < degrees_in.size(); ++i) {
+    for (size_t o = 0; o < degrees_out.size(); ++o) {
+      mask.at(static_cast<int>(i), static_cast<int>(o)) =
+          degrees_out[o] >= degrees_in[i] ? 1.f : 0.f;
+    }
+  }
+  return mask;
+}
+
+Mat HeadMask(const std::vector<int>& hidden_degrees, int col_index, int domain) {
+  Mat mask(static_cast<int>(hidden_degrees.size()), domain);
+  int d = col_index + 1;
+  for (size_t k = 0; k < hidden_degrees.size(); ++k) {
+    float allowed = hidden_degrees[k] < d ? 1.f : 0.f;
+    for (int c = 0; c < domain; ++c) mask.at(static_cast<int>(k), c) = allowed;
+  }
+  return mask;
+}
+
+}  // namespace uae::nn

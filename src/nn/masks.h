@@ -1,0 +1,33 @@
+// MADE mask construction (Germain et al., 2015) for the left-to-right
+// autoregressive ordering used by the paper (§4.2).
+//
+// Degrees: (virtual) column j has input degree d(j) = j+1 (0-based j).
+// Hidden unit k has degree m(k) cycling over {1, ..., n-1}.
+// Connectivity rules:
+//   input  -> hidden : allowed iff m(k) >= d(input col)      (M[in, hid])
+//   hidden -> hidden : allowed iff m(k') >= m(k)
+//   hidden -> head j : allowed iff m(k) <  d(j) = j+1
+// so the head of column j sees only inputs of columns < j, giving exactly the
+// factorization P(x) = prod_j P(x_j | x_<j) of Eq. 1.
+#pragma once
+
+#include <vector>
+
+#include "nn/mat.h"
+
+namespace uae::nn {
+
+/// Assigns hidden-unit degrees cycling 1..n_cols-1 (all 1s when n_cols == 1).
+std::vector<int> HiddenDegrees(int hidden_units, int n_cols);
+
+/// Mask [total_input_width, hidden] for the first layer. `col_widths[j]` is the
+/// encoded width of column j; all features of a column share its degree.
+Mat InputMask(const std::vector<int>& col_widths, const std::vector<int>& hidden_degrees);
+
+/// Mask [hidden, hidden] between two hidden layers with the same degree vector.
+Mat HiddenMask(const std::vector<int>& degrees_in, const std::vector<int>& degrees_out);
+
+/// Mask [hidden, domain_j] for the output head of column j (0-based).
+Mat HeadMask(const std::vector<int>& hidden_degrees, int col_index, int domain);
+
+}  // namespace uae::nn

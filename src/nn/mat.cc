@@ -1,0 +1,50 @@
+#include "nn/mat.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uae::nn {
+
+Mat Mat::Uniform(int rows, int cols, float a, util::Rng* rng) {
+  Mat m(rows, cols);
+  for (auto& v : m.d_) v = static_cast<float>(rng->Uniform(-a, a));
+  return m;
+}
+
+Mat Mat::Gaussian(int rows, int cols, float stddev, util::Rng* rng) {
+  Mat m(rows, cols);
+  for (auto& v : m.d_) v = static_cast<float>(rng->Gaussian(0.0, stddev));
+  return m;
+}
+
+Mat Mat::KaimingUniform(int fan_in, int fan_out, util::Rng* rng) {
+  float bound = std::sqrt(6.0f / std::max(1, fan_in));
+  return Uniform(fan_in, fan_out, bound, rng);
+}
+
+Mat Mat::FromVector(int rows, int cols, std::vector<float> data) {
+  UAE_CHECK_EQ(data.size(), size_t(rows) * cols);
+  Mat m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.d_ = std::move(data);
+  return m;
+}
+
+float Mat::AbsMax() const {
+  float mx = 0.f;
+  for (float v : d_) mx = std::max(mx, std::fabs(v));
+  return mx;
+}
+
+double Mat::Sum() const {
+  double s = 0.0;
+  for (float v : d_) s += v;
+  return s;
+}
+
+std::string Mat::ShapeString() const {
+  return "[" + std::to_string(rows_) + "x" + std::to_string(cols_) + "]";
+}
+
+}  // namespace uae::nn

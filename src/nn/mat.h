@@ -1,0 +1,66 @@
+// Dense row-major float32 matrix — the storage type of the NN engine.
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace uae::nn {
+
+class Mat {
+ public:
+  Mat() : rows_(0), cols_(0) {}
+  Mat(int rows, int cols) : rows_(rows), cols_(cols), d_(size_t(rows) * cols, 0.f) {
+    UAE_DCHECK(rows >= 0 && cols >= 0);
+  }
+  Mat(int rows, int cols, float fill)
+      : rows_(rows), cols_(cols), d_(size_t(rows) * cols, fill) {}
+
+  static Mat Zeros(int rows, int cols) { return Mat(rows, cols); }
+  static Mat Full(int rows, int cols, float v) { return Mat(rows, cols, v); }
+  /// Uniform in [-a, a].
+  static Mat Uniform(int rows, int cols, float a, util::Rng* rng);
+  /// Gaussian N(0, stddev^2).
+  static Mat Gaussian(int rows, int cols, float stddev, util::Rng* rng);
+  /// Kaiming-uniform init for a fan_in -> fan_out linear layer.
+  static Mat KaimingUniform(int fan_in, int fan_out, util::Rng* rng);
+  static Mat FromVector(int rows, int cols, std::vector<float> data);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t size() const { return d_.size(); }
+  bool empty() const { return d_.empty(); }
+
+  float& at(int r, int c) {
+    UAE_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return d_[size_t(r) * cols_ + c];
+  }
+  float at(int r, int c) const {
+    UAE_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return d_[size_t(r) * cols_ + c];
+  }
+  float* row(int r) { return d_.data() + size_t(r) * cols_; }
+  const float* row(int r) const { return d_.data() + size_t(r) * cols_; }
+  float* data() { return d_.data(); }
+  const float* data() const { return d_.data(); }
+
+  void Fill(float v) { std::fill(d_.begin(), d_.end(), v); }
+  void Zero() { Fill(0.f); }
+  bool SameShape(const Mat& o) const { return rows_ == o.rows_ && cols_ == o.cols_; }
+
+  /// Frobenius-style helpers used by tests and optimizers.
+  float AbsMax() const;
+  double Sum() const;
+
+  std::string ShapeString() const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<float> d_;
+};
+
+}  // namespace uae::nn

@@ -1,0 +1,463 @@
+#include "nn/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/kernels.h"
+
+namespace uae::nn {
+
+namespace {
+
+/// Creates the result node; wires parents + closure only in grad mode.
+Tensor MakeNode(Mat value, std::vector<Tensor> parents,
+                std::function<void(Node&)> backward, const char* op) {
+  bool any_grad = false;
+  for (const auto& p : parents) any_grad = any_grad || p->requires_grad();
+  bool record = GradModeEnabled() && any_grad;
+  auto node = std::make_shared<Node>(std::move(value), record, op);
+  if (record) {
+    node->set_parents(std::move(parents));
+    node->set_backward(std::move(backward));
+  }
+  return node;
+}
+
+void AccumAll(Mat* dst, const Mat& src) {
+  UAE_DCHECK(dst->SameShape(src));
+  float* d = dst->data();
+  const float* s = src.data();
+  for (size_t i = 0; i < src.size(); ++i) d[i] += s[i];
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  UAE_CHECK(a->value().SameShape(b->value()));
+  Mat out = a->value();
+  AccumAll(&out, b->value());
+  return MakeNode(std::move(out), {a, b},
+                  [a, b](Node& n) {
+                    if (a->requires_grad()) AccumAll(&a->grad(), n.grad());
+                    if (b->requires_grad()) AccumAll(&b->grad(), n.grad());
+                  },
+                  "add");
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  UAE_CHECK(a->value().SameShape(b->value()));
+  Mat out = a->value();
+  {
+    float* d = out.data();
+    const float* s = b->value().data();
+    for (size_t i = 0; i < out.size(); ++i) d[i] -= s[i];
+  }
+  return MakeNode(std::move(out), {a, b},
+                  [a, b](Node& n) {
+                    if (a->requires_grad()) AccumAll(&a->grad(), n.grad());
+                    if (b->requires_grad()) {
+                      float* d = b->grad().data();
+                      const float* g = n.grad().data();
+                      for (size_t i = 0; i < n.grad().size(); ++i) d[i] -= g[i];
+                    }
+                  },
+                  "sub");
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  UAE_CHECK(a->value().SameShape(b->value()));
+  Mat out(a->rows(), a->cols());
+  MulElem(a->value(), b->value(), &out);
+  return MakeNode(std::move(out), {a, b},
+                  [a, b](Node& n) {
+                    if (a->requires_grad()) MulElemAccum(n.grad(), b->value(), &a->grad());
+                    if (b->requires_grad()) MulElemAccum(n.grad(), a->value(), &b->grad());
+                  },
+                  "mul");
+}
+
+Tensor AddBias(const Tensor& x, const Tensor& bias) {
+  Mat out(x->rows(), x->cols());
+  AddBiasRows(x->value(), bias->value(), &out);
+  return MakeNode(std::move(out), {x, bias},
+                  [x, bias](Node& n) {
+                    if (x->requires_grad()) AccumAll(&x->grad(), n.grad());
+                    if (bias->requires_grad()) {
+                      float* db = bias->grad().row(0);
+                      for (int r = 0; r < n.grad().rows(); ++r) {
+                        const float* g = n.grad().row(r);
+                        for (int c = 0; c < n.grad().cols(); ++c) db[c] += g[c];
+                      }
+                    }
+                  },
+                  "add_bias");
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Mat out = a->value();
+  float* d = out.data();
+  for (size_t i = 0; i < out.size(); ++i) d[i] *= s;
+  return MakeNode(std::move(out), {a},
+                  [a, s](Node& n) {
+                    if (!a->requires_grad()) return;
+                    float* d = a->grad().data();
+                    const float* g = n.grad().data();
+                    for (size_t i = 0; i < n.grad().size(); ++i) d[i] += s * g[i];
+                  },
+                  "scale");
+}
+
+Tensor AddConstMat(const Tensor& a, const Mat& c) {
+  UAE_CHECK(a->value().SameShape(c));
+  Mat out = a->value();
+  AccumAll(&out, c);
+  return MakeNode(std::move(out), {a},
+                  [a](Node& n) {
+                    if (a->requires_grad()) AccumAll(&a->grad(), n.grad());
+                  },
+                  "add_const");
+}
+
+Tensor MulConstMat(const Tensor& a, const Mat& c) {
+  UAE_CHECK(a->value().SameShape(c));
+  Mat out(a->rows(), a->cols());
+  MulElem(a->value(), c, &out);
+  // The backward closure needs c by value: callers often pass temporaries.
+  Mat c_copy = c;
+  return MakeNode(std::move(out), {a},
+                  [a, c_copy = std::move(c_copy)](Node& n) {
+                    if (a->requires_grad()) MulElemAccum(n.grad(), c_copy, &a->grad());
+                  },
+                  "mul_const");
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  Mat out(a->rows(), b->cols());
+  GemmAccum(a->value(), b->value(), &out);
+  return MakeNode(std::move(out), {a, b},
+                  [a, b](Node& n) {
+                    if (a->requires_grad()) GemmNtAccum(n.grad(), b->value(), &a->grad());
+                    if (b->requires_grad()) GemmTnAccum(a->value(), n.grad(), &b->grad());
+                  },
+                  "matmul");
+}
+
+Tensor MaskedMatMul(const Tensor& x, const Tensor& w, const Mat& mask) {
+  UAE_CHECK(w->value().SameShape(mask));
+  Mat wm(w->rows(), w->cols());
+  MulElem(w->value(), mask, &wm);
+  Mat out(x->rows(), w->cols());
+  GemmAccum(x->value(), wm, &out);
+  Mat mask_copy = mask;
+  Mat wm_copy = wm;  // Needed for dX.
+  return MakeNode(
+      std::move(out), {x, w},
+      [x, w, mask_copy = std::move(mask_copy), wm_copy = std::move(wm_copy)](Node& n) {
+        if (x->requires_grad()) GemmNtAccum(n.grad(), wm_copy, &x->grad());
+        if (w->requires_grad()) {
+          Mat dw(w->rows(), w->cols());
+          GemmTnAccum(x->value(), n.grad(), &dw);
+          MulElemAccum(dw, mask_copy, &w->grad());
+        }
+      },
+      "masked_matmul");
+}
+
+Tensor Relu(const Tensor& a) {
+  Mat out = a->value();
+  ReluInplace(&out);
+  return MakeNode(std::move(out), {a},
+                  [a](Node& n) {
+                    if (!a->requires_grad()) return;
+                    float* d = a->grad().data();
+                    const float* g = n.grad().data();
+                    const float* v = n.value().data();
+                    for (size_t i = 0; i < n.grad().size(); ++i) {
+                      if (v[i] > 0.f) d[i] += g[i];
+                    }
+                  },
+                  "relu");
+}
+
+Tensor SoftmaxRowsOp(const Tensor& a) {
+  Mat out(a->rows(), a->cols());
+  SoftmaxRows(a->value(), &out);
+  return MakeNode(std::move(out), {a},
+                  [a](Node& n) {
+                    if (!a->requires_grad()) return;
+                    // dX[r] = Y[r] * (dY[r] - <dY[r], Y[r]>)
+                    for (int r = 0; r < n.rows(); ++r) {
+                      const float* y = n.value().row(r);
+                      const float* g = n.grad().row(r);
+                      float dot = 0.f;
+                      for (int c = 0; c < n.cols(); ++c) dot += y[c] * g[c];
+                      float* d = a->grad().row(r);
+                      for (int c = 0; c < n.cols(); ++c) d[c] += y[c] * (g[c] - dot);
+                    }
+                  },
+                  "softmax_rows");
+}
+
+Tensor LogSoftmaxRowsOp(const Tensor& a) {
+  Mat out(a->rows(), a->cols());
+  LogSoftmaxRows(a->value(), &out);
+  return MakeNode(std::move(out), {a},
+                  [a](Node& n) {
+                    if (!a->requires_grad()) return;
+                    // dX[r] = dY[r] - softmax(x)[r] * sum(dY[r])
+                    for (int r = 0; r < n.rows(); ++r) {
+                      const float* ls = n.value().row(r);
+                      const float* g = n.grad().row(r);
+                      float gsum = 0.f;
+                      for (int c = 0; c < n.cols(); ++c) gsum += g[c];
+                      float* d = a->grad().row(r);
+                      for (int c = 0; c < n.cols(); ++c) {
+                        d[c] += g[c] - std::exp(ls[c]) * gsum;
+                      }
+                    }
+                  },
+                  "log_softmax_rows");
+}
+
+Tensor RowSum(const Tensor& a) {
+  Mat out(a->rows(), 1);
+  for (int r = 0; r < a->rows(); ++r) {
+    const float* src = a->value().row(r);
+    float s = 0.f;
+    for (int c = 0; c < a->cols(); ++c) s += src[c];
+    out.at(r, 0) = s;
+  }
+  return MakeNode(std::move(out), {a},
+                  [a](Node& n) {
+                    if (!a->requires_grad()) return;
+                    for (int r = 0; r < a->rows(); ++r) {
+                      float g = n.grad().at(r, 0);
+                      float* d = a->grad().row(r);
+                      for (int c = 0; c < a->cols(); ++c) d[c] += g;
+                    }
+                  },
+                  "row_sum");
+}
+
+Tensor SumAll(const Tensor& a) {
+  Mat out(1, 1);
+  out.at(0, 0) = static_cast<float>(a->value().Sum());
+  return MakeNode(std::move(out), {a},
+                  [a](Node& n) {
+                    if (!a->requires_grad()) return;
+                    float g = n.grad().at(0, 0);
+                    float* d = a->grad().data();
+                    for (size_t i = 0; i < a->grad().size(); ++i) d[i] += g;
+                  },
+                  "sum_all");
+}
+
+Tensor MeanAll(const Tensor& a) {
+  float inv = 1.f / static_cast<float>(a->value().size());
+  Mat out(1, 1);
+  out.at(0, 0) = static_cast<float>(a->value().Sum()) * inv;
+  return MakeNode(std::move(out), {a},
+                  [a, inv](Node& n) {
+                    if (!a->requires_grad()) return;
+                    float g = n.grad().at(0, 0) * inv;
+                    float* d = a->grad().data();
+                    for (size_t i = 0; i < a->grad().size(); ++i) d[i] += g;
+                  },
+                  "mean_all");
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  UAE_CHECK(!parts.empty());
+  int rows = parts[0]->rows();
+  int total_cols = 0;
+  for (const auto& p : parts) {
+    UAE_CHECK_EQ(p->rows(), rows);
+    total_cols += p->cols();
+  }
+  Mat out(rows, total_cols);
+  int off = 0;
+  for (const auto& p : parts) {
+    for (int r = 0; r < rows; ++r) {
+      std::memcpy(out.row(r) + off, p->value().row(r),
+                  sizeof(float) * static_cast<size_t>(p->cols()));
+    }
+    off += p->cols();
+  }
+  std::vector<Tensor> parents = parts;
+  return MakeNode(std::move(out), parents,
+                  [parents](Node& n) {
+                    int off2 = 0;
+                    for (const auto& p : parents) {
+                      if (p->requires_grad()) {
+                        for (int r = 0; r < p->rows(); ++r) {
+                          const float* g = n.grad().row(r) + off2;
+                          float* d = p->grad().row(r);
+                          for (int c = 0; c < p->cols(); ++c) d[c] += g[c];
+                        }
+                      }
+                      off2 += p->cols();
+                    }
+                  },
+                  "concat_cols");
+}
+
+Tensor SliceRows(const Tensor& a, int r0, int r1) {
+  UAE_CHECK(r0 >= 0 && r1 <= a->rows() && r0 < r1);
+  Mat out(r1 - r0, a->cols());
+  for (int r = r0; r < r1; ++r) {
+    std::memcpy(out.row(r - r0), a->value().row(r),
+                sizeof(float) * static_cast<size_t>(a->cols()));
+  }
+  return MakeNode(std::move(out), {a},
+                  [a, r0](Node& n) {
+                    if (!a->requires_grad()) return;
+                    for (int r = 0; r < n.rows(); ++r) {
+                      const float* g = n.grad().row(r);
+                      float* d = a->grad().row(r + r0);
+                      for (int c = 0; c < n.cols(); ++c) d[c] += g[c];
+                    }
+                  },
+                  "slice_rows");
+}
+
+Tensor SegmentMean(const Tensor& a, int group) {
+  UAE_CHECK_EQ(a->cols(), 1);
+  UAE_CHECK_GT(group, 0);
+  UAE_CHECK_EQ(a->rows() % group, 0);
+  int out_rows = a->rows() / group;
+  Mat out(out_rows, 1);
+  float inv = 1.f / static_cast<float>(group);
+  for (int q = 0; q < out_rows; ++q) {
+    float s = 0.f;
+    for (int j = 0; j < group; ++j) s += a->value().at(q * group + j, 0);
+    out.at(q, 0) = s * inv;
+  }
+  return MakeNode(std::move(out), {a},
+                  [a, group, inv](Node& n) {
+                    if (!a->requires_grad()) return;
+                    for (int q = 0; q < n.rows(); ++q) {
+                      float g = n.grad().at(q, 0) * inv;
+                      for (int j = 0; j < group; ++j) a->grad().at(q * group + j, 0) += g;
+                    }
+                  },
+                  "segment_mean");
+}
+
+Tensor EmbeddingLookup(const Tensor& emb, const std::vector<int32_t>& codes) {
+  Mat out(static_cast<int>(codes.size()), emb->cols());
+  for (size_t i = 0; i < codes.size(); ++i) {
+    UAE_DCHECK(codes[i] >= 0 && codes[i] < emb->rows());
+    std::memcpy(out.row(static_cast<int>(i)), emb->value().row(codes[i]),
+                sizeof(float) * static_cast<size_t>(emb->cols()));
+  }
+  std::vector<int32_t> codes_copy = codes;
+  return MakeNode(std::move(out), {emb},
+                  [emb, codes_copy = std::move(codes_copy)](Node& n) {
+                    if (!emb->requires_grad()) return;
+                    for (size_t i = 0; i < codes_copy.size(); ++i) {
+                      const float* g = n.grad().row(static_cast<int>(i));
+                      float* d = emb->grad().row(codes_copy[i]);
+                      for (int c = 0; c < n.cols(); ++c) d[c] += g[c];
+                    }
+                  },
+                  "embedding_lookup");
+}
+
+Tensor CrossEntropyLogits(const Tensor& logits, const std::vector<int32_t>& targets,
+                          const std::vector<float>* row_weight) {
+  const int m = logits->rows();
+  UAE_CHECK_EQ(targets.size(), static_cast<size_t>(m));
+  if (row_weight != nullptr) UAE_CHECK_EQ(row_weight->size(), static_cast<size_t>(m));
+  // Forward: mean over rows of (lse - logit[target]) * w.
+  Mat softmax(m, logits->cols());
+  SoftmaxRows(logits->value(), &softmax);
+  double total = 0.0;
+  for (int r = 0; r < m; ++r) {
+    const float* lrow = logits->value().row(r);
+    float mx = lrow[0];
+    for (int c = 1; c < logits->cols(); ++c) mx = std::max(mx, lrow[c]);
+    float sum = 0.f;
+    for (int c = 0; c < logits->cols(); ++c) sum += std::exp(lrow[c] - mx);
+    float lse = mx + std::log(sum);
+    float w = row_weight ? (*row_weight)[r] : 1.f;
+    UAE_DCHECK(targets[r] >= 0 && targets[r] < logits->cols());
+    total += w * (lse - lrow[targets[r]]);
+  }
+  Mat out(1, 1);
+  out.at(0, 0) = static_cast<float>(total / m);
+  std::vector<int32_t> t_copy = targets;
+  std::vector<float> w_copy = row_weight ? *row_weight : std::vector<float>();
+  return MakeNode(
+      std::move(out), {logits},
+      [logits, t_copy = std::move(t_copy), w_copy = std::move(w_copy),
+       softmax = std::move(softmax)](Node& n) {
+        if (!logits->requires_grad()) return;
+        const float gscale = n.grad().at(0, 0) / static_cast<float>(logits->rows());
+        for (int r = 0; r < logits->rows(); ++r) {
+          float w = w_copy.empty() ? 1.f : w_copy[r];
+          const float* sm = softmax.row(r);
+          float* d = logits->grad().row(r);
+          const float gw = gscale * w;
+          for (int c = 0; c < logits->cols(); ++c) d[c] += gw * sm[c];
+          d[t_copy[r]] -= gw;
+        }
+      },
+      "cross_entropy");
+}
+
+Tensor QErrorLoss(const Tensor& sel_hat, const Mat& truth, float floor) {
+  UAE_CHECK_EQ(sel_hat->cols(), 1);
+  UAE_CHECK(sel_hat->value().SameShape(truth));
+  const int q = sel_hat->rows();
+  double total = 0.0;
+  // Cache which branch each row took for the backward pass.
+  std::vector<float> p_vals(q), t_vals(q);
+  for (int r = 0; r < q; ++r) {
+    float p = sel_hat->value().at(r, 0) + floor;
+    float t = std::max(truth.at(r, 0), floor);
+    p_vals[r] = p;
+    t_vals[r] = t;
+    total += std::max(t / p, p / t);
+  }
+  Mat out(1, 1);
+  out.at(0, 0) = static_cast<float>(total / q);
+  return MakeNode(std::move(out), {sel_hat},
+                  [sel_hat, p_vals = std::move(p_vals), t_vals = std::move(t_vals)](Node& n) {
+                    if (!sel_hat->requires_grad()) return;
+                    const float g = n.grad().at(0, 0) / static_cast<float>(sel_hat->rows());
+                    for (int r = 0; r < sel_hat->rows(); ++r) {
+                      float p = p_vals[r], t = t_vals[r];
+                      float d = (t / p > p / t) ? (-t / (p * p)) : (1.f / t);
+                      sel_hat->grad().at(r, 0) += g * d;
+                    }
+                  },
+                  "qerror_loss");
+}
+
+Tensor MseLoss(const Tensor& pred, const Mat& target) {
+  UAE_CHECK(pred->value().SameShape(target));
+  const size_t n_elems = pred->value().size();
+  double total = 0.0;
+  const float* p = pred->value().data();
+  const float* t = target.data();
+  for (size_t i = 0; i < n_elems; ++i) {
+    double diff = static_cast<double>(p[i]) - t[i];
+    total += diff * diff;
+  }
+  Mat out(1, 1);
+  out.at(0, 0) = static_cast<float>(total / static_cast<double>(n_elems));
+  Mat target_copy = target;
+  return MakeNode(std::move(out), {pred},
+                  [pred, target_copy = std::move(target_copy), n_elems](Node& n) {
+                    if (!pred->requires_grad()) return;
+                    const float g =
+                        2.f * n.grad().at(0, 0) / static_cast<float>(n_elems);
+                    float* d = pred->grad().data();
+                    const float* pv = pred->value().data();
+                    const float* tv = target_copy.data();
+                    for (size_t i = 0; i < n_elems; ++i) d[i] += g * (pv[i] - tv[i]);
+                  },
+                  "mse_loss");
+}
+
+}  // namespace uae::nn

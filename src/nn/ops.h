@@ -1,0 +1,72 @@
+// Differentiable graph operations. Every function returns a new Tensor whose
+// backward closure accumulates into its parents' gradients.
+//
+// Shapes follow the convention: activations are [batch, features].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace uae::nn {
+
+// ---- Elementwise / broadcast arithmetic -----------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+/// x [m,n] + bias [1,n], broadcast over rows.
+Tensor AddBias(const Tensor& x, const Tensor& bias);
+Tensor Scale(const Tensor& a, float s);
+/// a + c where c is a non-differentiable constant (Gumbel noise, -inf masks).
+Tensor AddConstMat(const Tensor& a, const Mat& c);
+/// a (elementwise) * c, c constant (query-region indicator masks).
+Tensor MulConstMat(const Tensor& a, const Mat& c);
+
+// ---- Linear algebra ---------------------------------------------------------
+
+/// a [m,k] * b [k,n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// x [m,k] * (w ⊙ mask) [k,n]; mask is constant 0/1 — MADE masked layer.
+Tensor MaskedMatMul(const Tensor& x, const Tensor& w, const Mat& mask);
+
+// ---- Nonlinearities ---------------------------------------------------------
+
+Tensor Relu(const Tensor& a);
+Tensor SoftmaxRowsOp(const Tensor& a);
+Tensor LogSoftmaxRowsOp(const Tensor& a);
+
+// ---- Reductions / reshaping -------------------------------------------------
+
+/// Row sums: [m,n] -> [m,1].
+Tensor RowSum(const Tensor& a);
+Tensor SumAll(const Tensor& a);
+Tensor MeanAll(const Tensor& a);
+/// Horizontal concatenation, all inputs share the row count.
+Tensor ConcatCols(const std::vector<Tensor>& parts);
+/// Rows [r0, r1) of a.
+Tensor SliceRows(const Tensor& a, int r0, int r1);
+/// Mean over consecutive groups of `group` rows: [m,1] -> [m/group,1].
+Tensor SegmentMean(const Tensor& a, int group);
+
+// ---- Lookup -----------------------------------------------------------------
+
+/// out[i,:] = emb[codes[i],:]; gradient scatter-adds into emb.
+Tensor EmbeddingLookup(const Tensor& emb, const std::vector<int32_t>& codes);
+
+// ---- Losses -----------------------------------------------------------------
+
+/// Mean over rows of (logsumexp(logits[r]) - logits[r, target[r]]).
+/// `row_weight` (optional, size m) rescales each row's contribution.
+Tensor CrossEntropyLogits(const Tensor& logits, const std::vector<int32_t>& targets,
+                          const std::vector<float>* row_weight = nullptr);
+
+/// Mean Q-error: mean_q max(t_q/p_q, p_q/t_q) with p = sel_hat + floor,
+/// t = max(truth, floor). sel_hat and truth are [Q,1]; truth is constant.
+Tensor QErrorLoss(const Tensor& sel_hat, const Mat& truth, float floor);
+
+/// Mean squared error against a constant target (same shape).
+Tensor MseLoss(const Tensor& pred, const Mat& target);
+
+}  // namespace uae::nn

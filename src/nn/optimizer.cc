@@ -1,0 +1,87 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace uae::nn {
+
+void Sgd::Step() {
+  for (auto& p : params_) {
+    if (!p.tensor->has_grad()) continue;
+    float* w = p.tensor->mutable_value().data();
+    const float* g = p.tensor->grad().data();
+    for (size_t i = 0; i < p.tensor->value().size(); ++i) {
+      float grad = g[i] + weight_decay_ * w[i];
+      w[i] -= lr_ * grad;
+    }
+  }
+}
+
+void Sgd::ZeroGrad() {
+  for (auto& p : params_) p.tensor->ZeroGrad();
+}
+
+Adam::Adam(std::vector<NamedParam> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : params_(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.tensor->rows(), p.tensor->cols());
+    v_.emplace_back(p.tensor->rows(), p.tensor->cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    auto& p = params_[pi];
+    if (!p.tensor->has_grad()) continue;
+    float* w = p.tensor->mutable_value().data();
+    const float* g = p.tensor->grad().data();
+    float* m = m_[pi].data();
+    float* v = v_[pi].data();
+    const size_t n = p.tensor->value().size();
+    for (size_t i = 0; i < n; ++i) {
+      float grad = g[i] + weight_decay_ * w[i];
+      m[i] = beta1_ * m[i] + (1.f - beta1_) * grad;
+      v[i] = beta2_ * v[i] + (1.f - beta2_) * grad * grad;
+      float mhat = m[i] / bc1;
+      float vhat = v[i] / bc2;
+      w[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (auto& p : params_) p.tensor->ZeroGrad();
+}
+
+float ClipGradNorm(const std::vector<NamedParam>& params, float max_norm) {
+  double total = 0.0;
+  for (const auto& p : params) {
+    if (!p.tensor->has_grad()) continue;
+    const float* g = p.tensor->grad().data();
+    for (size_t i = 0; i < p.tensor->grad().size(); ++i) {
+      total += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.f) {
+    float scale = max_norm / norm;
+    for (const auto& p : params) {
+      if (!p.tensor->has_grad()) continue;
+      float* g = p.tensor->grad().data();
+      for (size_t i = 0; i < p.tensor->grad().size(); ++i) g[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace uae::nn

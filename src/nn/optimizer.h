@@ -1,0 +1,50 @@
+// First-order optimizers over named parameter lists.
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace uae::nn {
+
+/// Plain SGD with optional weight decay.
+class Sgd {
+ public:
+  Sgd(std::vector<NamedParam> params, float lr, float weight_decay = 0.f)
+      : params_(std::move(params)), lr_(lr), weight_decay_(weight_decay) {}
+
+  void Step();
+  void ZeroGrad();
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  std::vector<NamedParam> params_;
+  float lr_;
+  float weight_decay_;
+};
+
+/// Adam (Kingma & Ba) — the paper's training setup uses Adam as in Naru.
+class Adam {
+ public:
+  Adam(std::vector<NamedParam> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.f);
+
+  void Step();
+  void ZeroGrad();
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+  int64_t step_count() const { return t_; }
+
+ private:
+  std::vector<NamedParam> params_;
+  std::vector<Mat> m_;
+  std::vector<Mat> v_;
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  int64_t t_ = 0;
+};
+
+/// Global-norm gradient clipping; returns the pre-clip norm.
+float ClipGradNorm(const std::vector<NamedParam>& params, float max_norm);
+
+}  // namespace uae::nn

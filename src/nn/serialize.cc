@@ -1,0 +1,83 @@
+#include "nn/serialize.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace uae::nn {
+
+namespace {
+constexpr char kMagic[4] = {'U', 'A', 'E', 'W'};
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+util::Status SaveParams(const std::string& path,
+                        const std::vector<NamedParam>& params) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return util::Status::IoError("cannot open " + path);
+  out.write(kMagic, 4);
+  uint32_t version = kVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  uint32_t count = static_cast<uint32_t>(params.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& p : params) {
+    uint32_t name_len = static_cast<uint32_t>(p.name.size());
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out.write(p.name.data(), name_len);
+    int32_t rows = p.tensor->rows(), cols = p.tensor->cols();
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    out.write(reinterpret_cast<const char*>(p.tensor->value().data()),
+              static_cast<std::streamsize>(sizeof(float) * p.tensor->value().size()));
+  }
+  if (!out.good()) return util::Status::IoError("write failed: " + path);
+  return util::Status::Ok();
+}
+
+util::Status LoadParams(const std::string& path, std::vector<NamedParam>* params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return util::Status::IoError("cannot open " + path);
+  char magic[4];
+  in.read(magic, 4);
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return util::Status::InvalidArgument("bad magic in " + path);
+  }
+  uint32_t version = 0, count = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (version != kVersion) return util::Status::InvalidArgument("bad version");
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (count != params->size()) {
+    return util::Status::InvalidArgument("parameter count mismatch");
+  }
+  for (auto& p : *params) {
+    uint32_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    if (name != p.name) {
+      return util::Status::InvalidArgument("parameter name mismatch: expected " +
+                                           p.name + " got " + name);
+    }
+    int32_t rows = 0, cols = 0;
+    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    if (rows != p.tensor->rows() || cols != p.tensor->cols()) {
+      return util::Status::InvalidArgument("shape mismatch for " + p.name);
+    }
+    in.read(reinterpret_cast<char*>(p.tensor->mutable_value().data()),
+            static_cast<std::streamsize>(sizeof(float) * p.tensor->value().size()));
+  }
+  if (!in.good()) return util::Status::IoError("read failed: " + path);
+  return util::Status::Ok();
+}
+
+size_t ParamCount(const std::vector<NamedParam>& params) {
+  size_t n = 0;
+  for (const auto& p : params) n += p.tensor->value().size();
+  return n;
+}
+
+size_t ParamBytes(const std::vector<NamedParam>& params) {
+  return ParamCount(params) * sizeof(float);
+}
+
+}  // namespace uae::nn

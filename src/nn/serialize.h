@@ -1,0 +1,25 @@
+// Binary save/load of named parameter sets (model checkpoints).
+//
+// Format: magic "UAEW", u32 version, u32 count, then per entry:
+//   u32 name_len, name bytes, i32 rows, i32 cols, rows*cols f32 payload.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "util/status.h"
+
+namespace uae::nn {
+
+util::Status SaveParams(const std::string& path, const std::vector<NamedParam>& params);
+
+/// Loads into the given parameter list. Names and shapes must match exactly.
+util::Status LoadParams(const std::string& path, std::vector<NamedParam>* params);
+
+/// Total number of scalar weights (for the "Size" column of the tables).
+size_t ParamCount(const std::vector<NamedParam>& params);
+/// Model size in bytes (float32 storage), as reported by the paper's tables.
+size_t ParamBytes(const std::vector<NamedParam>& params);
+
+}  // namespace uae::nn

@@ -1,0 +1,57 @@
+#include "nn/tensor.h"
+
+#include <unordered_set>
+
+namespace uae::nn {
+
+namespace {
+thread_local bool g_grad_enabled = true;
+}  // namespace
+
+Tensor Parameter(Mat value) {
+  return std::make_shared<Node>(std::move(value), /*requires_grad=*/true, "param");
+}
+
+Tensor Constant(Mat value) {
+  return std::make_shared<Node>(std::move(value), /*requires_grad=*/false, "const");
+}
+
+bool GradModeEnabled() { return g_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
+NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
+
+void Backward(const Tensor& loss) {
+  UAE_CHECK(loss != nullptr);
+  UAE_CHECK(loss->rows() == 1 && loss->cols() == 1)
+      << "Backward expects a scalar loss, got " << loss->value().ShapeString();
+  // Topological order via iterative DFS.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(loss.get(), 0);
+  visited.insert(loss.get());
+  while (!stack.empty()) {
+    auto& [node, idx] = stack.back();
+    if (idx < node->parents().size()) {
+      Node* parent = node->parents()[idx].get();
+      ++idx;
+      if (parent->requires_grad() && !visited.count(parent)) {
+        visited.insert(parent);
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  // Seed and sweep in reverse topological order.
+  loss->grad().at(0, 0) = 1.f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    (*it)->RunBackward();
+  }
+  // Release the graph; keep gradients on leaves.
+  for (Node* n : order) n->DetachGraph();
+}
+
+}  // namespace uae::nn

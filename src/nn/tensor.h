@@ -1,0 +1,94 @@
+// Reverse-mode autodiff on a dynamically-built tape.
+//
+// A Tensor is a shared pointer to a Node holding a float matrix value, an
+// optionally-allocated gradient, parent links and a backward closure. Ops in
+// ops.h build the graph; Backward(loss) runs a topological sweep.
+//
+// Grad mode: when GradMode is disabled (see NoGradGuard), ops compute values
+// only — no parents, no closures — so the same code paths serve inference.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/mat.h"
+
+namespace uae::nn {
+
+class Node;
+using Tensor = std::shared_ptr<Node>;
+
+class Node {
+ public:
+  Node(Mat value, bool requires_grad, std::string op)
+      : value_(std::move(value)), requires_grad_(requires_grad), op_(std::move(op)) {}
+
+  const Mat& value() const { return value_; }
+  Mat& mutable_value() { return value_; }
+  int rows() const { return value_.rows(); }
+  int cols() const { return value_.cols(); }
+
+  bool requires_grad() const { return requires_grad_; }
+  const std::string& op() const { return op_; }
+
+  /// Gradient matrix; allocated (zero) on first access.
+  Mat& grad() {
+    if (grad_.rows() != value_.rows() || grad_.cols() != value_.cols()) {
+      grad_ = Mat::Zeros(value_.rows(), value_.cols());
+    }
+    return grad_;
+  }
+  bool has_grad() const { return grad_.rows() == value_.rows() && grad_.cols() == value_.cols() && !grad_.empty(); }
+  void ZeroGrad() {
+    if (has_grad()) grad_.Zero();
+  }
+
+  // Graph wiring — used by ops.cc only.
+  void set_parents(std::vector<Tensor> parents) { parents_ = std::move(parents); }
+  void set_backward(std::function<void(Node&)> fn) { backward_ = std::move(fn); }
+  const std::vector<Tensor>& parents() const { return parents_; }
+  void RunBackward() {
+    if (backward_) backward_(*this);
+  }
+  /// Drops graph links after backward to free memory.
+  void DetachGraph() {
+    parents_.clear();
+    backward_ = nullptr;
+  }
+
+ private:
+  Mat value_;
+  Mat grad_;
+  bool requires_grad_;
+  std::string op_;
+  std::vector<Tensor> parents_;
+  std::function<void(Node&)> backward_;
+};
+
+/// Creates a trainable parameter tensor.
+Tensor Parameter(Mat value);
+/// Creates a constant (non-trainable) tensor.
+Tensor Constant(Mat value);
+
+/// Whether newly created ops record the graph. Thread-local.
+bool GradModeEnabled();
+
+/// RAII: disables grad recording within scope (inference).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  UAE_DISALLOW_COPY(NoGradGuard);
+
+ private:
+  bool prev_;
+};
+
+/// Runs backpropagation from a scalar loss node ([1,1]). Seeds dLoss=1,
+/// accumulates into grads of all reachable nodes with requires_grad, then
+/// releases the graph (parents/backward closures) so memory is reclaimed.
+void Backward(const Tensor& loss);
+
+}  // namespace uae::nn

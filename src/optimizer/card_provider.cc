@@ -1,0 +1,85 @@
+#include "optimizer/card_provider.h"
+
+#include <algorithm>
+
+namespace uae::optimizer {
+
+namespace {
+uint64_t CacheKey(const workload::JoinQuery& q, uint32_t submask) {
+  return q.pred.Fingerprint() * 1315423911ull + (static_cast<uint64_t>(q.table_mask) << 32 | submask);
+}
+}  // namespace
+
+double TrueCardProvider::Card(const workload::JoinQuery& query, uint32_t submask) {
+  uint64_t key = CacheKey(query, submask);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  double card = JoinTrueCard(uni_, RestrictToSubset(uni_, query, submask));
+  cache_.emplace(key, card);
+  return card;
+}
+
+double UaeCardProvider::Card(const workload::JoinQuery& query, uint32_t submask) {
+  uint64_t key = CacheKey(query, submask);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  double card = uae_->EstimateJoinCard(RestrictToSubset(uni_, query, submask));
+  cache_.emplace(key, card);
+  return card;
+}
+
+AviCardProvider::AviCardProvider(const data::JoinUniverse& uni) : uni_(uni) {
+  hists_.reserve(uni.base_tables.size());
+  for (const auto& t : uni.base_tables) {
+    hists_.emplace_back(t, /*buckets_per_column=*/64);
+  }
+}
+
+double AviCardProvider::TableSelectivity(const workload::JoinQuery& query,
+                                         int t) const {
+  const data::JoinTableInfo& info = uni_.tables[static_cast<size_t>(t)];
+  const data::Table& base = uni_.base_tables[static_cast<size_t>(info.base_table)];
+  workload::Query base_q(base.num_cols());
+  for (size_t i = 0; i < info.content_cols.size(); ++i) {
+    const workload::Constraint& cons =
+        query.pred.constraint(info.content_cols[i]);
+    if (!cons.IsActive()) continue;
+    workload::Constraint shifted = cons;
+    if (info.code_shift != 0) {
+      // Universe codes are +1 (NULL at 0); shift back to base codes.
+      if (shifted.kind == workload::Constraint::Kind::kRange) {
+        shifted.lo = std::max(0, shifted.lo - info.code_shift);
+        shifted.hi = shifted.hi - info.code_shift;
+      } else if (shifted.kind == workload::Constraint::Kind::kNotEqual) {
+        shifted.neq -= info.code_shift;
+      } else if (shifted.kind == workload::Constraint::Kind::kIn) {
+        for (auto& code : shifted.in_codes) code -= info.code_shift;
+      }
+    }
+    base_q.mutable_constraint(info.base_content_cols[i]) = shifted;
+  }
+  double card = hists_[static_cast<size_t>(info.base_table)].EstimateCard(base_q);
+  return std::max(1e-9, card / static_cast<double>(base.num_rows()));
+}
+
+double AviCardProvider::Card(const workload::JoinQuery& query, uint32_t submask) {
+  // Postgres-style: independent per-table selectivities + key/FK join
+  // selectivity 1/|title| per join edge.
+  double card = 1.0;
+  int count = 0;
+  double n_title =
+      static_cast<double>(uni_.base_tables[0].num_rows());
+  for (int t = 0; t < uni_.NumTables(); ++t) {
+    if (!(submask & (1u << t))) continue;
+    const data::JoinTableInfo& info = uni_.tables[static_cast<size_t>(t)];
+    double rows =
+        static_cast<double>(uni_.base_tables[static_cast<size_t>(info.base_table)]
+                                .num_rows());
+    card *= rows * TableSelectivity(query, t);
+    ++count;
+  }
+  for (int e = 1; e < count; ++e) card /= n_title;
+  return std::max(card, 1.0);
+}
+
+}  // namespace uae::optimizer

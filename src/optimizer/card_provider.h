@@ -1,0 +1,70 @@
+// Cardinality providers: per-estimator sources of sub-plan cardinalities
+// injected into the mini optimizer — the experimental design of §5.6 / [13]
+// (external estimates injected into the planner).
+#pragma once
+
+#include <unordered_map>
+
+#include "core/uae.h"
+#include "data/imdb_star.h"
+#include "estimators/histogram.h"
+#include "estimators/spn.h"
+#include "workload/join_workload.h"
+
+namespace uae::optimizer {
+
+/// Cardinality of the query restricted to `submask` (a subset of the query's
+/// joined tables). Implementations memoize per (query, submask).
+class JoinCardProvider {
+ public:
+  virtual ~JoinCardProvider() = default;
+  virtual std::string name() const = 0;
+  /// Cardinality estimate for RestrictToSubset(query, submask).
+  virtual double Card(const workload::JoinQuery& query, uint32_t submask) = 0;
+};
+
+/// Exact cardinalities by weighted scans of the universe ("TrueCard").
+class TrueCardProvider : public JoinCardProvider {
+ public:
+  explicit TrueCardProvider(const data::JoinUniverse& uni) : uni_(uni) {}
+  std::string name() const override { return "TrueCard"; }
+  double Card(const workload::JoinQuery& query, uint32_t submask) override;
+
+ private:
+  const data::JoinUniverse& uni_;
+  std::unordered_map<uint64_t, double> cache_;
+};
+
+/// UAE (or UAE-D / NeuroCard when trained data-only) via progressive sampling.
+class UaeCardProvider : public JoinCardProvider {
+ public:
+  UaeCardProvider(const data::JoinUniverse& uni, const core::Uae* uae,
+                  std::string display_name)
+      : uni_(uni), uae_(uae), name_(std::move(display_name)) {}
+  std::string name() const override { return name_; }
+  double Card(const workload::JoinQuery& query, uint32_t submask) override;
+
+ private:
+  const data::JoinUniverse& uni_;
+  const core::Uae* uae_;
+  std::string name_;
+  std::unordered_map<uint64_t, double> cache_;
+};
+
+/// Postgres-like baseline: per-table AVI histograms + key/foreign-key join
+/// selectivity (|A join B| = |A||B| / max ndv of the key).
+class AviCardProvider : public JoinCardProvider {
+ public:
+  explicit AviCardProvider(const data::JoinUniverse& uni);
+  std::string name() const override { return "Postgres-like"; }
+  double Card(const workload::JoinQuery& query, uint32_t submask) override;
+
+ private:
+  /// Selectivity of the per-table predicates on base table t.
+  double TableSelectivity(const workload::JoinQuery& query, int t) const;
+
+  const data::JoinUniverse& uni_;
+  std::vector<estimators::HistogramAviEstimator> hists_;  // Per base table.
+};
+
+}  // namespace uae::optimizer

@@ -1,0 +1,73 @@
+#include "optimizer/dp_optimizer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/common.h"
+
+namespace uae::optimizer {
+
+namespace {
+bool Connected(uint32_t subset) {
+  // Star schema: any single table is fine; multi-table subsets must contain
+  // the fact table (bit 0) to avoid cross products.
+  return __builtin_popcount(subset) == 1 || (subset & 1u);
+}
+}  // namespace
+
+PlanResult OptimizeJoinOrder(const data::JoinUniverse& uni,
+                             const workload::JoinQuery& query,
+                             JoinCardProvider* cards) {
+  const uint32_t full = query.table_mask;
+  const int n = uni.NumTables();
+  UAE_CHECK(full & 1u) << "join queries must include the fact table";
+
+  std::vector<double> best_cost(1u << n, std::numeric_limits<double>::infinity());
+  std::vector<int> best_last(1u << n, -1);
+
+  // Singletons.
+  for (int t = 0; t < n; ++t) {
+    uint32_t s = 1u << t;
+    if ((s & full) != s) continue;
+    best_cost[s] = 0.0;  // C_out counts only intermediate (join) results.
+  }
+  // Enumerate subsets of `full` by increasing size.
+  for (uint32_t s = 1; s <= full; ++s) {
+    if ((s & full) != s || __builtin_popcount(s) < 2 || !Connected(s)) continue;
+    double card_s = std::max(1.0, cards->Card(query, s));
+    for (int t = 0; t < n; ++t) {
+      uint32_t bit = 1u << t;
+      if (!(s & bit)) continue;
+      uint32_t rest = s ^ bit;
+      if (!Connected(rest)) continue;
+      if (best_cost[rest] == std::numeric_limits<double>::infinity()) continue;
+      double cost = best_cost[rest] + card_s;
+      if (cost < best_cost[s]) {
+        best_cost[s] = cost;
+        best_last[s] = t;
+      }
+    }
+  }
+  UAE_CHECK(best_cost[full] != std::numeric_limits<double>::infinity())
+      << "no connected join order found";
+
+  PlanResult result;
+  result.estimated_cost = best_cost[full];
+  // Reconstruct the order back-to-front.
+  uint32_t s = full;
+  std::vector<int> reversed;
+  while (__builtin_popcount(s) > 1) {
+    int t = best_last[s];
+    UAE_CHECK_GE(t, 0);
+    reversed.push_back(t);
+    s ^= 1u << t;
+  }
+  // The remaining singleton is the leftmost table.
+  for (int t = 0; t < n; ++t) {
+    if (s & (1u << t)) reversed.push_back(t);
+  }
+  result.join_order.assign(reversed.rbegin(), reversed.rend());
+  return result;
+}
+
+}  // namespace uae::optimizer

@@ -1,0 +1,26 @@
+// System-R-style dynamic-programming join ordering over the star schema with
+// a C_out cost model: cost(plan) = sum of intermediate-result cardinalities,
+// as estimated by the injected JoinCardProvider. Different providers choose
+// different plans; the executor then measures how good those plans really are
+// (the Figure 6 experimental design).
+#pragma once
+
+#include <vector>
+
+#include "optimizer/card_provider.h"
+
+namespace uae::optimizer {
+
+struct PlanResult {
+  std::vector<int> join_order;   ///< Table ids in left-deep join sequence.
+  double estimated_cost = 0.0;   ///< C_out under the provider's estimates.
+};
+
+/// Optimizes the left-deep join order of `query` using cardinalities from
+/// `cards`. Cross products are not considered (a subset is joinable iff it is
+/// a single table or contains the fact table).
+PlanResult OptimizeJoinOrder(const data::JoinUniverse& uni,
+                             const workload::JoinQuery& query,
+                             JoinCardProvider* cards);
+
+}  // namespace uae::optimizer

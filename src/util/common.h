@@ -1,0 +1,72 @@
+// Common macros and small helpers shared across the UAE library.
+//
+// Error-handling policy (Google style, no exceptions in library code):
+//  - UAE_CHECK / UAE_DCHECK abort on programmer errors (invariant violations).
+//  - util::Status / util::Result<T> report recoverable errors (I/O, parsing).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace uae {
+
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s %s\n", file, line, expr, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Stream sink that builds the failure message lazily.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessage() { CheckFailed(file_, line_, expr_, stream_.str()); }
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define UAE_CHECK(cond)                                            \
+  if (cond) {                                                      \
+  } else /* NOLINT */                                              \
+    ::uae::internal::CheckMessage(__FILE__, __LINE__, #cond)
+
+#define UAE_CHECK_EQ(a, b) UAE_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define UAE_CHECK_NE(a, b) UAE_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define UAE_CHECK_LT(a, b) UAE_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define UAE_CHECK_LE(a, b) UAE_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define UAE_CHECK_GT(a, b) UAE_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define UAE_CHECK_GE(a, b) UAE_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#ifndef NDEBUG
+#define UAE_DCHECK(cond) UAE_CHECK(cond)
+#else
+#define UAE_DCHECK(cond) \
+  if (true) {            \
+  } else /* NOLINT */    \
+    ::uae::internal::CheckMessage(__FILE__, __LINE__, #cond)
+#endif
+
+// Disallow copy but keep move.
+#define UAE_DISALLOW_COPY(TypeName)    \
+  TypeName(const TypeName&) = delete;  \
+  TypeName& operator=(const TypeName&) = delete
+
+}  // namespace uae

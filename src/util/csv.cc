@@ -1,0 +1,90 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace uae::util {
+
+std::vector<std::string> ParseCsvLine(const std::string& line, char delim) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delim) {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+namespace {
+std::string EscapeField(const std::string& f, char delim) {
+  bool needs_quote = f.find(delim) != std::string::npos ||
+                     f.find('"') != std::string::npos ||
+                     f.find('\n') != std::string::npos;
+  if (!needs_quote) return f;
+  std::string out = "\"";
+  for (char c : f) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+Result<CsvDocument> ReadCsv(const std::string& path, char delim) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  CsvDocument doc;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() && in.eof()) break;
+    auto fields = ParseCsvLine(line, delim);
+    if (first) {
+      doc.header = std::move(fields);
+      first = false;
+    } else {
+      doc.rows.push_back(std::move(fields));
+    }
+  }
+  if (first) return Status::IoError("empty CSV: " + path);
+  return doc;
+}
+
+Status WriteCsv(const std::string& path, const CsvDocument& doc, char delim) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IoError("cannot open " + path + " for write");
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out << delim;
+      out << EscapeField(row[i], delim);
+    }
+    out << '\n';
+  };
+  write_row(doc.header);
+  for (const auto& row : doc.rows) write_row(row);
+  return Status::Ok();
+}
+
+}  // namespace uae::util

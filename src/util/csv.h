@@ -1,0 +1,24 @@
+// Minimal CSV reader/writer. Used to persist generated datasets and bench
+// results. Handles quoting of fields containing the delimiter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace uae::util {
+
+/// In-memory CSV document: a header row plus data rows of strings.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+Result<CsvDocument> ReadCsv(const std::string& path, char delim = ',');
+Status WriteCsv(const std::string& path, const CsvDocument& doc, char delim = ',');
+
+/// Parses one CSV line honoring double-quote escaping.
+std::vector<std::string> ParseCsvLine(const std::string& line, char delim = ',');
+
+}  // namespace uae::util

@@ -1,0 +1,40 @@
+// Minimal leveled logger. Thread-safe via a global mutex; intended for coarse
+// progress reporting in training loops and benches, not per-row hot paths.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace uae::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum severity that will be printed. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define UAE_LOG(level)                                                          \
+  ::uae::util::internal::LogMessage(::uae::util::LogLevel::k##level, __FILE__, \
+                                    __LINE__)
+
+}  // namespace uae::util

@@ -1,0 +1,42 @@
+// Numerical helpers: stable log-sum-exp, normal CDF, moment statistics,
+// entropy / mutual-information on discrete samples.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace uae::util {
+
+/// log(sum_i exp(x_i)) computed stably. Returns -inf for empty input.
+double LogSumExp(const std::vector<double>& xs);
+float LogSumExpF(const float* xs, size_t n);
+
+/// Standard normal CDF Phi(x).
+double NormalCdf(double x);
+/// Standard normal PDF phi(x).
+double NormalPdf(double x);
+
+/// Fisher-Pearson standardized moment coefficient (sample skewness, g1).
+/// This is the skewness statistic the paper reports for its datasets.
+double Skewness(const std::vector<double>& xs);
+
+double Mean(const std::vector<double>& xs);
+double Variance(const std::vector<double>& xs);
+
+/// Shannon entropy (nats) of a discrete sample given as category codes.
+double Entropy(const std::vector<int32_t>& codes, int32_t domain);
+
+/// Mutual information (nats) between two aligned discrete code columns.
+double MutualInformation(const std::vector<int32_t>& a, int32_t domain_a,
+                         const std::vector<int32_t>& b, int32_t domain_b);
+
+/// Normalized mutual information in [0,1]: I(a;b)/sqrt(H(a)H(b)).
+/// Used as our NCIE-style nonlinear correlation measure.
+double NormalizedMutualInformation(const std::vector<int32_t>& a, int32_t domain_a,
+                                   const std::vector<int32_t>& b, int32_t domain_b);
+
+/// Pearson correlation of two double vectors (0 if degenerate).
+double PearsonCorrelation(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace uae::util

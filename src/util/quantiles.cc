@@ -1,0 +1,59 @@
+#include "util/quantiles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/common.h"
+
+namespace uae::util {
+
+double Quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  UAE_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  double pos = q * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+ErrorSummary Summarize(const std::vector<double>& errors) {
+  ErrorSummary s;
+  s.count = errors.size();
+  if (errors.empty()) return s;
+  double total = 0.0;
+  double mx = errors[0];
+  for (double e : errors) {
+    total += e;
+    mx = std::max(mx, e);
+  }
+  s.mean = total / static_cast<double>(errors.size());
+  s.median = Quantile(errors, 0.5);
+  s.p95 = Quantile(errors, 0.95);
+  s.p99 = Quantile(errors, 0.99);
+  s.max = mx;
+  return s;
+}
+
+std::string FormatError(double v) {
+  char buf[64];
+  if (!std::isfinite(v)) {
+    std::snprintf(buf, sizeof(buf), "inf");
+  } else if (v >= 1e4) {
+    std::snprintf(buf, sizeof(buf), "%.1e", v);
+  } else if (v >= 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+  }
+  return buf;
+}
+
+std::string FormatSummary(const ErrorSummary& s) {
+  return FormatError(s.mean) + "  " + FormatError(s.median) + "  " +
+         FormatError(s.p95) + "  " + FormatError(s.max);
+}
+
+}  // namespace uae::util

@@ -1,0 +1,80 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace uae::util {
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) return weights.empty() ? 0 : weights.size() - 1;
+  double r = Uniform(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+size_t Rng::CategoricalF(const float* weights, size_t n) {
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) total += weights[i];
+  if (total <= 0.0) return n == 0 ? 0 : n - 1;
+  double r = Uniform(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return n - 1;
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  UAE_CHECK_GT(n, 0);
+  if (s <= 1e-9) return UniformInt(0, n - 1);
+  // Rejection-inversion sampling (Hormann & Derflinger). Ranks are 1..n; we
+  // return rank-1 so the most frequent value is 0.
+  auto h = [s](double x) {
+    return s == 1.0 ? std::log(x) : (std::pow(x, 1.0 - s) / (1.0 - s));
+  };
+  auto h_inv = [s](double x) {
+    return s == 1.0 ? std::exp(x) : std::pow((1.0 - s) * x, 1.0 / (1.0 - s));
+  };
+  const double hx0 = h(0.5) - std::pow(1.0, -s);
+  const double hn = h(n + 0.5);
+  for (int iter = 0; iter < 1000; ++iter) {
+    double u = hx0 + Uniform() * (hn - hx0);
+    double x = h_inv(u);
+    int64_t k = static_cast<int64_t>(std::llround(std::max(1.0, x)));
+    k = std::min<int64_t>(k, n);
+    if (u >= h(k + 0.5) - std::pow(static_cast<double>(k), -s)) {
+      return k - 1;
+    }
+  }
+  return 0;  // Overwhelmingly unlikely; keeps the function total.
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  UAE_CHECK_LE(k, n);
+  // Floyd's algorithm for k << n; fallback to shuffle otherwise.
+  if (k * 4 < n) {
+    std::vector<size_t> out;
+    out.reserve(k);
+    std::vector<bool> seen;  // Sparse via sort-free membership on small k.
+    for (size_t j = n - k; j < n; ++j) {
+      size_t t = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(j)));
+      bool found = std::find(out.begin(), out.end(), t) != out.end();
+      out.push_back(found ? j : t);
+    }
+    return out;
+  }
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  Shuffle(&idx);
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace uae::util

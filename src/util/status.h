@@ -1,0 +1,85 @@
+// Lightweight Status / Result<T> types for recoverable errors (I/O, parsing).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/common.h"
+
+namespace uae::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// A success-or-error value. Cheap to copy on the OK path.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status IoError(std::string m) { return Status(StatusCode::kIoError, std::move(m)); }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Status status) : v_(std::move(status)) {    // NOLINT(google-explicit-constructor)
+    UAE_CHECK(!std::get<Status>(v_).ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  const T& value() const& {
+    UAE_CHECK(ok()) << status().ToString();
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    UAE_CHECK(ok()) << status().ToString();
+    return std::get<T>(std::move(v_));
+  }
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(v_);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+#define UAE_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::uae::util::Status _st = (expr);          \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace uae::util

@@ -1,0 +1,17 @@
+// Small string helpers shared by CSV I/O and bench harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace uae::util {
+
+std::vector<std::string> Split(const std::string& s, char delim);
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+std::string Trim(const std::string& s);
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// printf-style formatting into std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace uae::util

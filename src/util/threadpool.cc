@@ -1,0 +1,99 @@
+#include "util/threadpool.h"
+
+#include <algorithm>
+
+namespace uae::util {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(fn));
+    ++in_flight_;
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+ThreadPool& GlobalPool() {
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t, size_t)>& body,
+                 size_t min_parallel_size) {
+  if (end <= begin) return;
+  ThreadPool& pool = GlobalPool();
+  size_t n = end - begin;
+  size_t workers = pool.num_threads();
+  if (workers <= 1 || n < min_parallel_size) {
+    body(begin, end);
+    return;
+  }
+  size_t chunks = std::min(workers, (n + min_parallel_size - 1) / min_parallel_size);
+  size_t chunk = (n + chunks - 1) / chunks;
+  // Per-call completion latch so concurrent ParallelFor calls do not interfere.
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t pending = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    size_t lo = begin + c * chunk;
+    size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    {
+      std::lock_guard<std::mutex> lock(done_mu);
+      ++pending;
+    }
+    pool.Submit([&, lo, hi] {
+      body(lo, hi);
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--pending == 0) done_cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return pending == 0; });
+}
+
+}  // namespace uae::util

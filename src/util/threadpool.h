@@ -1,0 +1,53 @@
+// A small fixed-size thread pool plus a ParallelFor helper used by the GEMM
+// kernels and the exact query executor.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "util/common.h"
+
+namespace uae::util {
+
+class ThreadPool {
+ public:
+  /// `num_threads` == 0 selects hardware_concurrency().
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+  UAE_DISALLOW_COPY(ThreadPool);
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Schedules `fn` and returns immediately. Use Wait() to join.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until all submitted work has finished.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Returns the process-wide pool (lazily constructed, sized to the machine).
+ThreadPool& GlobalPool();
+
+/// Splits [begin, end) into roughly equal chunks executed on the global pool.
+/// Runs inline when the range is small or the pool has a single thread.
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t, size_t)>& body,
+                 size_t min_parallel_size = 4096);
+
+}  // namespace uae::util

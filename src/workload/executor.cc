@@ -1,0 +1,94 @@
+#include "workload/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "util/threadpool.h"
+
+namespace uae::workload {
+
+namespace {
+
+/// Constrained columns ordered by increasing allowed fraction, so the scan
+/// fails fast on the most selective predicate.
+std::vector<int> OrderedConstrainedCols(const data::Table& table, const Query& query) {
+  std::vector<std::pair<double, int>> sel_cols;
+  for (int c = 0; c < query.num_cols(); ++c) {
+    const Constraint& cons = query.constraint(c);
+    if (!cons.IsActive()) continue;
+    double frac = static_cast<double>(cons.AllowedCount(table.column(c).domain())) /
+                  std::max<int32_t>(1, table.column(c).domain());
+    sel_cols.emplace_back(frac, c);
+  }
+  std::sort(sel_cols.begin(), sel_cols.end());
+  std::vector<int> out;
+  out.reserve(sel_cols.size());
+  for (const auto& [frac, c] : sel_cols) out.push_back(c);
+  return out;
+}
+
+}  // namespace
+
+int64_t ExecuteCount(const data::Table& table, const Query& query) {
+  UAE_CHECK_EQ(query.num_cols(), table.num_cols());
+  std::vector<int> cols = OrderedConstrainedCols(table, query);
+  if (cols.empty()) return static_cast<int64_t>(table.num_rows());
+  std::atomic<int64_t> total{0};
+  util::ParallelFor(0, table.num_rows(), [&](size_t lo, size_t hi) {
+    int64_t local = 0;
+    for (size_t r = lo; r < hi; ++r) {
+      bool ok = true;
+      for (int c : cols) {
+        if (!query.constraint(c).Matches(table.column(c).code_at(r))) {
+          ok = false;
+          break;
+        }
+      }
+      local += ok ? 1 : 0;
+    }
+    total.fetch_add(local, std::memory_order_relaxed);
+  });
+  return total.load();
+}
+
+double ExecuteWeightedCount(const data::Table& table, const Query& query,
+                            const std::vector<int>& inverse_weight_cols) {
+  UAE_CHECK_EQ(query.num_cols(), table.num_cols());
+  std::vector<int> cols = OrderedConstrainedCols(table, query);
+  std::mutex mu;
+  double total = 0.0;
+  util::ParallelFor(0, table.num_rows(), [&](size_t lo, size_t hi) {
+    double local = 0.0;
+    for (size_t r = lo; r < hi; ++r) {
+      bool ok = true;
+      for (int c : cols) {
+        if (!query.constraint(c).Matches(table.column(c).code_at(r))) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      double w = 1.0;
+      for (int wc : inverse_weight_cols) {
+        w /= static_cast<double>(table.column(wc).code_at(r) + 1);
+      }
+      local += w;
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    total += local;
+  });
+  return total;
+}
+
+std::vector<uint8_t> MatchBitmap(const data::Table& table, const Query& query,
+                                 size_t limit) {
+  limit = std::min(limit, table.num_rows());
+  std::vector<uint8_t> bits(limit, 0);
+  for (size_t r = 0; r < limit; ++r) {
+    bits[r] = query.MatchesRow(table, r) ? 1 : 0;
+  }
+  return bits;
+}
+
+}  // namespace uae::workload

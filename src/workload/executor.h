@@ -1,0 +1,29 @@
+// Exact query execution over dictionary-encoded tables — the source of the
+// ground-truth cardinalities used both as training labels (query workload
+// feedback) and as the reference in every q-error computation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/table.h"
+#include "workload/query.h"
+
+namespace uae::workload {
+
+/// Number of rows of `table` matching `query`. Parallel chunked scan;
+/// constrained columns are evaluated most-selective-first.
+int64_t ExecuteCount(const data::Table& table, const Query& query);
+
+/// Weighted count: sum over matching rows of prod_i 1/(code(c_i)+1) for each
+/// column index in `inverse_weight_cols` — the downscaling used for join
+/// cardinalities over the full-outer-join universe (fanout code F-1).
+double ExecuteWeightedCount(const data::Table& table, const Query& query,
+                            const std::vector<int>& inverse_weight_cols);
+
+/// Row indices (within [0, limit)) matching the query — used by the
+/// sampling-bitmap features of MSCN+sampling.
+std::vector<uint8_t> MatchBitmap(const data::Table& table, const Query& query,
+                                 size_t limit);
+
+}  // namespace uae::workload

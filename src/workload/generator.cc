@@ -1,0 +1,141 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "workload/executor.h"
+
+namespace uae::workload {
+
+QueryGenerator::QueryGenerator(const data::Table& table, GeneratorConfig config,
+                               uint64_t seed)
+    : table_(table), config_(config), rng_(seed) {
+  if (config_.bounded_col < 0) config_.bounded_col = table.LargestDomainColumn();
+  if (config_.max_filters <= 0) {
+    config_.max_filters = std::min(table.num_cols() - 1, 11);
+  }
+  config_.max_filters = std::min(config_.max_filters, table.num_cols() - 1);
+  config_.min_filters = std::min(config_.min_filters, config_.max_filters);
+}
+
+size_t QueryGenerator::SampleLiteralRow(int32_t bounded_lo, int32_t bounded_hi) {
+  if (rows_by_bounded_code_.empty()) {
+    rows_by_bounded_code_.resize(table_.num_rows());
+    std::iota(rows_by_bounded_code_.begin(), rows_by_bounded_code_.end(), size_t{0});
+    const data::Column& bc = table_.column(config_.bounded_col);
+    std::sort(rows_by_bounded_code_.begin(), rows_by_bounded_code_.end(),
+              [&bc](size_t a, size_t b) { return bc.code_at(a) < bc.code_at(b); });
+  }
+  const data::Column& bc = table_.column(config_.bounded_col);
+  auto lo_it = std::lower_bound(
+      rows_by_bounded_code_.begin(), rows_by_bounded_code_.end(), bounded_lo,
+      [&bc](size_t row, int32_t code) { return bc.code_at(row) < code; });
+  auto hi_it = std::upper_bound(
+      rows_by_bounded_code_.begin(), rows_by_bounded_code_.end(), bounded_hi,
+      [&bc](int32_t code, size_t row) { return code < bc.code_at(row); });
+  if (lo_it == hi_it) {
+    return static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(table_.num_rows()) - 1));
+  }
+  auto pick = lo_it + rng_.UniformInt(0, (hi_it - lo_it) - 1);
+  return *pick;
+}
+
+Query QueryGenerator::Generate() {
+  Query q(table_.num_cols());
+  // Literals come from one randomly sampled tuple so the conjunction is
+  // satisfiable (the tuple itself matches under {=, <=, >=}). With a bounded
+  // attribute, the tuple is drawn from inside the bounded range so the filter
+  // literals describe the targeted data region.
+  size_t row = static_cast<size_t>(
+      rng_.UniformInt(0, static_cast<int64_t>(table_.num_rows()) - 1));
+
+  if (config_.use_bounded) {
+    const data::Column& bc = table_.column(config_.bounded_col);
+    int32_t domain = bc.domain();
+    auto clamp = [domain](int64_t v) {
+      return static_cast<int32_t>(std::clamp<int64_t>(v, 0, domain - 1));
+    };
+    int32_t lo_center = clamp(static_cast<int64_t>(config_.center_min * domain));
+    int32_t hi_center = clamp(static_cast<int64_t>(config_.center_max * domain) - 1);
+    if (hi_center < lo_center) hi_center = lo_center;
+    int32_t center = static_cast<int32_t>(rng_.UniformInt(lo_center, hi_center));
+    int32_t halfwidth = std::max<int32_t>(
+        1, static_cast<int32_t>(config_.target_volume * domain / 2.0));
+    Predicate p_lo{config_.bounded_col, Op::kGe, clamp(center - halfwidth), {}};
+    Predicate p_hi{config_.bounded_col, Op::kLe, clamp(center + halfwidth), {}};
+    q.AddPredicate(p_lo, domain);
+    q.AddPredicate(p_hi, domain);
+    row = SampleLiteralRow(clamp(center - halfwidth), clamp(center + halfwidth));
+  }
+
+  // Pick nf random columns among the non-bounded ones.
+  std::vector<int> candidates;
+  for (int c = 0; c < table_.num_cols(); ++c) {
+    if (config_.use_bounded && c == config_.bounded_col) continue;
+    candidates.push_back(c);
+  }
+  int nf = static_cast<int>(rng_.UniformInt(config_.min_filters, config_.max_filters));
+  nf = std::min<int>(nf, static_cast<int>(candidates.size()));
+  rng_.Shuffle(&candidates);
+  for (int i = 0; i < nf; ++i) {
+    int col = candidates[static_cast<size_t>(i)];
+    const data::Column& dc = table_.column(col);
+    int32_t literal = dc.code_at(row);
+    Op op;
+    double u = rng_.Uniform();
+    if (u < config_.eq_op_prob || dc.domain() <= 2) {
+      op = Op::kEq;
+    } else if (u < config_.eq_op_prob + (1.0 - config_.eq_op_prob) / 2) {
+      op = rng_.Bernoulli(config_.strict_op_prob) ? Op::kLt : Op::kLe;
+    } else {
+      op = rng_.Bernoulli(config_.strict_op_prob) ? Op::kGt : Op::kGe;
+    }
+    q.AddPredicate(Predicate{col, op, literal, {}}, dc.domain());
+  }
+  return q;
+}
+
+Workload QueryGenerator::GenerateLabeled(size_t count,
+                                         std::unordered_set<uint64_t>* exclude) {
+  Workload out;
+  out.reserve(count);
+  size_t attempts = 0;
+  const size_t max_attempts = count * 50 + 1000;
+  while (out.size() < count && attempts < max_attempts) {
+    ++attempts;
+    Query q = Generate();
+    uint64_t fp = q.Fingerprint();
+    if (exclude != nullptr && exclude->count(fp)) continue;
+    if (exclude != nullptr) exclude->insert(fp);
+    LabeledQuery lq;
+    lq.card = static_cast<double>(ExecuteCount(table_, q));
+    lq.selectivity = lq.card / static_cast<double>(table_.num_rows());
+    lq.query = std::move(q);
+    out.push_back(std::move(lq));
+  }
+  UAE_CHECK_EQ(out.size(), count) << "generator exhausted attempts";
+  return out;
+}
+
+TrainTestWorkloads GenerateTrainTest(const data::Table& table, size_t train_count,
+                                     size_t test_count, uint64_t seed,
+                                     std::optional<GeneratorConfig> base_config) {
+  GeneratorConfig in_cfg = base_config.value_or(GeneratorConfig{});
+  in_cfg.use_bounded = true;
+  GeneratorConfig rand_cfg = in_cfg;
+  rand_cfg.use_bounded = false;
+  rand_cfg.min_filters = std::min(3, in_cfg.min_filters);
+
+  std::unordered_set<uint64_t> seen;
+  TrainTestWorkloads w;
+  QueryGenerator train_gen(table, in_cfg, seed);
+  w.train = train_gen.GenerateLabeled(train_count, &seen);
+  QueryGenerator test_gen(table, in_cfg, seed + 1);
+  w.test_in_workload = test_gen.GenerateLabeled(test_count, &seen);
+  QueryGenerator rand_gen(table, rand_cfg, seed + 2);
+  w.test_random = rand_gen.GenerateLabeled(test_count, &seen);
+  return w;
+}
+
+}  // namespace uae::workload

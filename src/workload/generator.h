@@ -1,0 +1,71 @@
+// Workload generation following §5.1.2 of the paper:
+//  * In-workload queries: a *bounded attribute* (the largest-domain column)
+//    gets a two-sided range around a uniformly chosen center covering a target
+//    volume (default 1% of its distinct values); additionally nf >= 5 filters
+//    on uniformly sampled other columns, operators drawn from {=, <=, >=}
+//    (plus rare strict variants), literals taken from a randomly sampled
+//    tuple.
+//  * Random queries: no bounded attribute; all filters random — used to probe
+//    robustness to workload shift.
+// Train/test workloads are deduplicated by query fingerprint, mirroring the
+// paper's "each training query is different from each test query".
+#pragma once
+
+#include <optional>
+#include <unordered_set>
+
+#include "data/table.h"
+#include "util/rng.h"
+#include "workload/query.h"
+
+namespace uae::workload {
+
+struct GeneratorConfig {
+  bool use_bounded = true;         ///< false => "random queries".
+  int bounded_col = -1;            ///< -1 => largest-domain column.
+  double center_min = 0.0;         ///< Center range as a fraction of the domain.
+  double center_max = 1.0;
+  double target_volume = 0.01;     ///< Fraction of distinct values covered.
+  int min_filters = 5;             ///< nf lower bound (besides bounded attr).
+  int max_filters = 0;             ///< 0 => min(n_cols-1, 11).
+  double strict_op_prob = 0.1;     ///< Probability of < / > instead of <= / >=.
+  double eq_op_prob = 0.3;         ///< Probability of an equality filter.
+};
+
+class QueryGenerator {
+ public:
+  QueryGenerator(const data::Table& table, GeneratorConfig config, uint64_t seed);
+
+  /// Generates one query (unlabeled).
+  Query Generate();
+
+  /// Generates `count` labeled queries whose fingerprints are not in
+  /// `exclude` (if given); adds generated fingerprints to `exclude`.
+  Workload GenerateLabeled(size_t count, std::unordered_set<uint64_t>* exclude);
+
+ private:
+  /// A row consistent with the bounded-range predicate, so that the filter
+  /// literals describe tuples the workload actually targets ("real usage
+  /// scenarios", §5.1.2). Falls back to a uniform row when the range is empty.
+  size_t SampleLiteralRow(int32_t bounded_lo, int32_t bounded_hi);
+
+  const data::Table& table_;
+  GeneratorConfig config_;
+  util::Rng rng_;
+  /// Row indices sorted by the bounded column's code (built lazily).
+  std::vector<size_t> rows_by_bounded_code_;
+};
+
+/// Convenience: train/test split with dedup, as in the paper's protocol.
+struct TrainTestWorkloads {
+  Workload train;
+  Workload test_in_workload;
+  Workload test_random;
+};
+
+TrainTestWorkloads GenerateTrainTest(const data::Table& table, size_t train_count,
+                                     size_t test_count, uint64_t seed,
+                                     std::optional<GeneratorConfig> base_config =
+                                         std::nullopt);
+
+}  // namespace uae::workload

@@ -1,0 +1,153 @@
+#include "workload/join_workload.h"
+
+#include <algorithm>
+
+#include "workload/executor.h"
+
+namespace uae::workload {
+
+std::vector<int> DownscaleColumns(const data::JoinUniverse& uni, uint32_t table_mask) {
+  std::vector<int> cols;
+  for (int t = 0; t < uni.NumTables(); ++t) {
+    if (table_mask & (1u << t)) continue;
+    int fc = uni.tables[static_cast<size_t>(t)].fanout_col;
+    if (fc >= 0) cols.push_back(fc);
+  }
+  return cols;
+}
+
+double JoinTrueCard(const data::JoinUniverse& uni, const JoinQuery& q) {
+  return ExecuteWeightedCount(uni.universe, q.pred, DownscaleColumns(uni, q.table_mask));
+}
+
+JoinQuery RestrictToSubset(const data::JoinUniverse& uni, const JoinQuery& q,
+                           uint32_t submask) {
+  UAE_CHECK_EQ(submask & ~q.table_mask, 0u) << "submask not a subset";
+  JoinQuery out;
+  out.table_mask = submask;
+  out.pred = Query(uni.universe.num_cols());
+  for (int t = 0; t < uni.NumTables(); ++t) {
+    if (!(submask & (1u << t))) continue;
+    const data::JoinTableInfo& info = uni.tables[static_cast<size_t>(t)];
+    for (int c : info.content_cols) {
+      out.pred.mutable_constraint(c) = q.pred.constraint(c);
+    }
+    if (info.indicator_col >= 0) {
+      out.pred.mutable_constraint(info.indicator_col) =
+          q.pred.constraint(info.indicator_col);
+    }
+  }
+  return out;
+}
+
+JoinQueryGenerator::JoinQueryGenerator(const data::JoinUniverse& uni,
+                                       JoinGeneratorConfig config, uint64_t seed)
+    : uni_(uni), config_(config), rng_(seed) {}
+
+JoinQuery JoinQueryGenerator::Generate() {
+  const data::Table& u = uni_.universe;
+  JoinQuery jq;
+  jq.pred = Query(u.num_cols());
+
+  // Table subset: focused => the full 3-table template; random => fact table
+  // plus a random non-empty subset of dimension tables.
+  if (config_.focused) {
+    jq.table_mask = (1u << uni_.NumTables()) - 1;
+  } else {
+    uint32_t dims = 0;
+    while (dims == 0) {
+      dims = static_cast<uint32_t>(
+          rng_.UniformInt(1, (1 << (uni_.NumTables() - 1)) - 1));
+    }
+    jq.table_mask = 1u | (dims << 1);
+  }
+
+  // Indicator constraints: joined dimension tables must be matched.
+  for (int t = 1; t < uni_.NumTables(); ++t) {
+    if (!(jq.table_mask & (1u << t))) continue;
+    int ind = uni_.tables[static_cast<size_t>(t)].indicator_col;
+    jq.pred.AddPredicate(Predicate{ind, Op::kEq, 1, {}}, u.column(ind).domain());
+  }
+
+  // Bounded attribute (production_year = universe column 0) for focused mode.
+  int32_t year_lo = 0, year_hi = u.column(0).domain() - 1;
+  if (config_.focused) {
+    const data::Column& yc = u.column(0);
+    int32_t domain = yc.domain();
+    auto clamp = [domain](int64_t v) {
+      return static_cast<int32_t>(std::clamp<int64_t>(v, 0, domain - 1));
+    };
+    int32_t lo_c = clamp(static_cast<int64_t>(config_.center_min * domain));
+    int32_t hi_c = clamp(static_cast<int64_t>(config_.center_max * domain) - 1);
+    if (hi_c < lo_c) hi_c = lo_c;
+    int32_t center = static_cast<int32_t>(rng_.UniformInt(lo_c, hi_c));
+    int32_t hw = std::max<int32_t>(
+        1, static_cast<int32_t>(config_.target_volume * domain / 2.0));
+    year_lo = clamp(center - hw);
+    year_hi = clamp(center + hw);
+    jq.pred.AddPredicate(Predicate{0, Op::kGe, year_lo, {}}, domain);
+    jq.pred.AddPredicate(Predicate{0, Op::kLe, year_hi, {}}, domain);
+  }
+
+  // Literal source: a universe row fully matched for the selected tables and
+  // inside the bounded year range, so the content filters describe tuples the
+  // query actually targets.
+  size_t row = 0;
+  for (int attempt = 0; attempt < 2000; ++attempt) {
+    row = static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(u.num_rows()) - 1));
+    bool ok = u.column(0).code_at(row) >= year_lo && u.column(0).code_at(row) <= year_hi;
+    for (int t = 1; ok && t < uni_.NumTables(); ++t) {
+      if (!(jq.table_mask & (1u << t))) continue;
+      int ind = uni_.tables[static_cast<size_t>(t)].indicator_col;
+      if (u.column(ind).code_at(row) != 1) ok = false;
+    }
+    if (ok) break;
+  }
+
+  // Content filters on the columns of selected tables (skip col 0 if bounded).
+  std::vector<int> candidates;
+  for (int t = 0; t < uni_.NumTables(); ++t) {
+    if (!(jq.table_mask & (1u << t))) continue;
+    for (int c : uni_.tables[static_cast<size_t>(t)].content_cols) {
+      if (config_.focused && c == 0) continue;
+      candidates.push_back(c);
+    }
+  }
+  rng_.Shuffle(&candidates);
+  int nf = static_cast<int>(rng_.UniformInt(config_.min_filters, config_.max_filters));
+  nf = std::min<int>(nf, static_cast<int>(candidates.size()));
+  for (int i = 0; i < nf; ++i) {
+    int col = candidates[static_cast<size_t>(i)];
+    const data::Column& dc = u.column(col);
+    int32_t literal = dc.code_at(row);
+    double uu = rng_.Uniform();
+    Op op = uu < 0.4 ? Op::kEq : (uu < 0.7 ? Op::kLe : Op::kGe);
+    if (dc.domain() <= 3) op = Op::kEq;
+    jq.pred.AddPredicate(Predicate{col, op, literal, {}}, dc.domain());
+  }
+  return jq;
+}
+
+JoinWorkload JoinQueryGenerator::GenerateLabeled(
+    size_t count, std::unordered_set<uint64_t>* exclude) {
+  JoinWorkload out;
+  out.reserve(count);
+  size_t attempts = 0;
+  const size_t max_attempts = count * 50 + 1000;
+  while (out.size() < count && attempts < max_attempts) {
+    ++attempts;
+    JoinQuery q = Generate();
+    uint64_t fp = q.pred.Fingerprint() * 31 + q.table_mask;
+    if (exclude != nullptr && exclude->count(fp)) continue;
+    if (exclude != nullptr) exclude->insert(fp);
+    LabeledJoinQuery lq;
+    lq.card = JoinTrueCard(uni_, q);
+    lq.query = std::move(q);
+    out.push_back(std::move(lq));
+  }
+  UAE_CHECK_EQ(out.size(), count) << "join generator exhausted attempts";
+  return out;
+}
+
+}  // namespace uae::workload

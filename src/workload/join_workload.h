@@ -1,0 +1,67 @@
+// Join query workloads over the ImdbStar universe — analogs of the paper's
+// JOB-light-ranges-focused (bounded production_year + 2..5 content filters,
+// always all three template tables) and JOB-light (random table subsets,
+// random filters, no bounded attribute).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "data/imdb_star.h"
+#include "util/rng.h"
+#include "workload/query.h"
+
+namespace uae::workload {
+
+/// A join query: the subset of joined tables (bitmask over
+/// JoinUniverse::tables, bit 0 = fact) plus content predicates compiled over
+/// the universe's columns. Indicator constraints for joined dimension tables
+/// are part of `pred`.
+struct JoinQuery {
+  uint32_t table_mask = 1;
+  Query pred;
+};
+
+struct LabeledJoinQuery {
+  JoinQuery query;
+  double card = 0.0;
+};
+
+using JoinWorkload = std::vector<LabeledJoinQuery>;
+
+/// Exact cardinality by weighted scan of the materialized universe.
+double JoinTrueCard(const data::JoinUniverse& uni, const JoinQuery& q);
+
+/// Restricts a join query to a subset of its tables: keeps only predicates on
+/// columns of tables inside `submask` (plus their indicator constraints).
+/// Used by the optimizer to cost sub-plans.
+JoinQuery RestrictToSubset(const data::JoinUniverse& uni, const JoinQuery& q,
+                           uint32_t submask);
+
+/// Fanout-column indices to downscale by for a given table subset
+/// (the fanouts of tables NOT in the subset).
+std::vector<int> DownscaleColumns(const data::JoinUniverse& uni, uint32_t table_mask);
+
+struct JoinGeneratorConfig {
+  bool focused = true;      ///< true: all 3 tables + bounded year (ranges-focused).
+  double center_min = 0.0;  ///< Bounded-column center band (workload shift knob).
+  double center_max = 1.0;
+  double target_volume = 0.10;  ///< Year-range volume (domain 100 -> +-5).
+  int min_filters = 2;
+  int max_filters = 5;
+};
+
+class JoinQueryGenerator {
+ public:
+  JoinQueryGenerator(const data::JoinUniverse& uni, JoinGeneratorConfig config,
+                     uint64_t seed);
+  JoinQuery Generate();
+  JoinWorkload GenerateLabeled(size_t count, std::unordered_set<uint64_t>* exclude);
+
+ private:
+  const data::JoinUniverse& uni_;
+  JoinGeneratorConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace uae::workload

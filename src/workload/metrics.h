@@ -1,0 +1,36 @@
+// Q-error (Eq. 6) and evaluation helpers producing the mean/median/95th/max
+// rows of the paper's result tables.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/quantiles.h"
+#include "workload/query.h"
+
+namespace uae::workload {
+
+/// Q-error on cardinalities with a floor of 1 (the convention of Naru/MSCN):
+/// max(max(est,1)/max(truth,1), max(truth,1)/max(est,1)).
+double QError(double est_card, double true_card);
+
+/// Evaluates an estimate function (query -> estimated cardinality) over a
+/// labeled workload and returns per-query q-errors.
+std::vector<double> EvaluateQErrors(
+    const Workload& workload, const std::function<double(const Query&)>& estimate);
+
+/// Pretty-prints one table row: "<name>  <size>  mean median p95 max".
+std::string FormatResultRow(const std::string& name, size_t size_bytes,
+                            const util::ErrorSummary& in_workload,
+                            const util::ErrorSummary& random);
+
+/// Log10-bucketed selectivity histogram (Figure 3).
+struct SelectivityHistogram {
+  std::vector<int> bucket_counts;  ///< Buckets for log10(sel) in [-8, 0).
+  int total = 0;
+};
+SelectivityHistogram SelectivityDistribution(const Workload& w);
+std::string FormatSelectivityHistogram(const SelectivityHistogram& h);
+
+}  // namespace uae::workload

@@ -1,0 +1,244 @@
+#include "workload/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstring>
+
+namespace uae::workload {
+
+namespace {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kOp, kLParen, kRParen, kComma, kEnd };
+  Kind kind;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& s) : s_(s) {}
+
+  util::Result<Token> Next() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return Token{Token::Kind::kEnd, ""};
+    char c = s_[pos_];
+    if (c == '(') {
+      ++pos_;
+      return Token{Token::Kind::kLParen, "("};
+    }
+    if (c == ')') {
+      ++pos_;
+      return Token{Token::Kind::kRParen, ")"};
+    }
+    if (c == ',') {
+      ++pos_;
+      return Token{Token::Kind::kComma, ","};
+    }
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      size_t end = s_.find(quote, pos_ + 1);
+      if (end == std::string::npos) {
+        return util::Status::InvalidArgument("unterminated string literal");
+      }
+      Token t{Token::Kind::kString, s_.substr(pos_ + 1, end - pos_ - 1)};
+      pos_ = end + 1;
+      return t;
+    }
+    if (std::strchr("=!<>", c) != nullptr) {
+      size_t start = pos_;
+      while (pos_ < s_.size() && std::strchr("=!<>", s_[pos_]) != nullptr) ++pos_;
+      return Token{Token::Kind::kOp, s_.substr(start, pos_ - start)};
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+') {
+      size_t start = pos_;
+      ++pos_;
+      while (pos_ < s_.size() &&
+             (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.')) {
+        ++pos_;
+      }
+      return Token{Token::Kind::kNumber, s_.substr(start, pos_ - start)};
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < s_.size() &&
+             (std::isalnum(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '_')) {
+        ++pos_;
+      }
+      return Token{Token::Kind::kIdent, s_.substr(start, pos_ - start)};
+    }
+    return util::Status::InvalidArgument(std::string("unexpected character '") + c +
+                                         "'");
+  }
+
+ private:
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+std::string Upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+/// Resolves a literal token against a column dictionary.
+util::Result<data::Value> ToValue(const data::Column& col, const Token& tok) {
+  if (tok.kind == Token::Kind::kString) return data::Value(tok.text);
+  if (tok.kind == Token::Kind::kNumber) {
+    if (tok.text.find('.') != std::string::npos) {
+      return data::Value(std::stod(tok.text));
+    }
+    int64_t v = 0;
+    auto [p, ec] = std::from_chars(tok.text.data(), tok.text.data() + tok.text.size(), v);
+    if (ec != std::errc()) {
+      return util::Status::InvalidArgument("bad number: " + tok.text);
+    }
+    return data::Value(v);
+  }
+  return util::Status::InvalidArgument("expected a literal, got '" + tok.text + "'");
+}
+
+/// Literal type must match the dictionary type (Value ordering is per-type).
+bool TypeCompatible(const data::Column& c, const data::Value& v) {
+  return c.domain() > 0 && c.ValueForCode(0).type() == v.type();
+}
+
+/// Adds `col op value` to the query, translating values to code space.
+util::Status AddValuePredicate(const data::Table& table, int col, const std::string& op,
+                               const data::Value& value, Query* query) {
+  const data::Column& c = table.column(col);
+  if (!TypeCompatible(c, value)) {
+    return util::Status::InvalidArgument("literal type mismatch for column " +
+                                         c.name());
+  }
+  int32_t domain = c.domain();
+  auto exact = c.CodeForValue(value);
+  if (op == "=") {
+    if (!exact.has_value()) {
+      return util::Status::NotFound("literal not in dictionary of " + c.name());
+    }
+    query->AddPredicate({col, Op::kEq, *exact, {}}, domain);
+    return util::Status::Ok();
+  }
+  if (op == "!=" || op == "<>") {
+    if (!exact.has_value()) return util::Status::Ok();  // != absent-value: no-op.
+    query->AddPredicate({col, Op::kNeq, *exact, {}}, domain);
+    return util::Status::Ok();
+  }
+  // Range operators snap to code boundaries for absent literals.
+  if (op == "<") {
+    query->AddPredicate({col, Op::kLt, c.LowerBoundCode(value), {}}, domain);
+  } else if (op == "<=") {
+    query->AddPredicate({col, Op::kLe, c.UpperBoundCode(value) - 1, {}}, domain);
+  } else if (op == ">") {
+    query->AddPredicate({col, Op::kGt, c.UpperBoundCode(value) - 1, {}}, domain);
+  } else if (op == ">=") {
+    query->AddPredicate({col, Op::kGe, c.LowerBoundCode(value), {}}, domain);
+  } else {
+    return util::Status::InvalidArgument("unknown operator '" + op + "'");
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+util::Result<Query> ParseQuery(const data::Table& table, const std::string& text) {
+  Lexer lexer(text);
+  Query query(table.num_cols());
+  auto next = [&lexer]() { return lexer.Next(); };
+
+  auto tok_or = next();
+  if (!tok_or.ok()) return tok_or.status();
+  Token tok = tok_or.value();
+  if (tok.kind == Token::Kind::kEnd) return query;  // Empty = unconstrained.
+
+  for (;;) {
+    // Column identifier.
+    if (tok.kind != Token::Kind::kIdent) {
+      return util::Status::InvalidArgument("expected column name, got '" + tok.text +
+                                           "'");
+    }
+    int col = table.ColumnIndex(tok.text);
+    if (col < 0) return util::Status::NotFound("unknown column: " + tok.text);
+    const data::Column& c = table.column(col);
+
+    auto op_or = next();
+    if (!op_or.ok()) return op_or.status();
+    Token op = op_or.value();
+    std::string kw = Upper(op.text);
+
+    if (op.kind == Token::Kind::kIdent && kw == "BETWEEN") {
+      auto lo_or = next();
+      if (!lo_or.ok()) return lo_or.status();
+      auto lo_val = ToValue(c, lo_or.value());
+      if (!lo_val.ok()) return lo_val.status();
+      auto and_or = next();
+      if (!and_or.ok()) return and_or.status();
+      if (Upper(and_or.value().text) != "AND") {
+        return util::Status::InvalidArgument("BETWEEN requires AND");
+      }
+      auto hi_or = next();
+      if (!hi_or.ok()) return hi_or.status();
+      auto hi_val = ToValue(c, hi_or.value());
+      if (!hi_val.ok()) return hi_val.status();
+      UAE_RETURN_IF_ERROR(AddValuePredicate(table, col, ">=", lo_val.value(), &query));
+      UAE_RETURN_IF_ERROR(AddValuePredicate(table, col, "<=", hi_val.value(), &query));
+    } else if (op.kind == Token::Kind::kIdent && kw == "IN") {
+      auto lp_or = next();
+      if (!lp_or.ok()) return lp_or.status();
+      if (lp_or.value().kind != Token::Kind::kLParen) {
+        return util::Status::InvalidArgument("IN requires '('");
+      }
+      std::vector<int32_t> codes;
+      for (;;) {
+        auto lit_or = next();
+        if (!lit_or.ok()) return lit_or.status();
+        auto val = ToValue(c, lit_or.value());
+        if (!val.ok()) return val.status();
+        if (!TypeCompatible(c, val.value())) {
+          return util::Status::InvalidArgument("literal type mismatch for column " +
+                                               c.name());
+        }
+        auto code = c.CodeForValue(val.value());
+        if (code.has_value()) codes.push_back(*code);
+        auto sep_or = next();
+        if (!sep_or.ok()) return sep_or.status();
+        if (sep_or.value().kind == Token::Kind::kRParen) break;
+        if (sep_or.value().kind != Token::Kind::kComma) {
+          return util::Status::InvalidArgument("IN list: expected ',' or ')'");
+        }
+      }
+      if (codes.empty()) {
+        return util::Status::NotFound("IN list has no dictionary matches for " +
+                                      c.name());
+      }
+      query.AddPredicate({col, Op::kIn, 0, std::move(codes)}, c.domain());
+    } else if (op.kind == Token::Kind::kOp) {
+      auto lit_or = next();
+      if (!lit_or.ok()) return lit_or.status();
+      auto val = ToValue(c, lit_or.value());
+      if (!val.ok()) return val.status();
+      UAE_RETURN_IF_ERROR(
+          AddValuePredicate(table, col, op.text, val.value(), &query));
+    } else {
+      return util::Status::InvalidArgument("expected operator after " + c.name());
+    }
+
+    auto and_or = next();
+    if (!and_or.ok()) return and_or.status();
+    Token conj = and_or.value();
+    if (conj.kind == Token::Kind::kEnd) break;
+    if (conj.kind != Token::Kind::kIdent || Upper(conj.text) != "AND") {
+      return util::Status::InvalidArgument("expected AND, got '" + conj.text + "'");
+    }
+    auto next_or = next();
+    if (!next_or.ok()) return next_or.status();
+    tok = next_or.value();
+  }
+  return query;
+}
+
+}  // namespace uae::workload

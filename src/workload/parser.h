@@ -1,0 +1,31 @@
+// A small predicate-expression parser so applications (and tests) can write
+// queries as text instead of assembling Predicate structs:
+//
+//   "model_year >= 1990 AND county = 7 AND color != 3"
+//   "age BETWEEN 20 AND 30 AND occupation IN (1, 5, 9)"
+//
+// Grammar (case-insensitive keywords):
+//   expr     := clause ("AND" clause)*
+//   clause   := ident op literal
+//             | ident "BETWEEN" literal "AND" literal
+//             | ident "IN" "(" literal ("," literal)* ")"
+//   op       := "=" | "!=" | "<>" | "<" | "<=" | ">" | ">="
+//   literal  := integer | quoted string
+// Literals are resolved against the column's dictionary; range operators on
+// values absent from the dictionary snap to the nearest code boundary.
+#pragma once
+
+#include <string>
+
+#include "data/table.h"
+#include "util/status.h"
+#include "workload/query.h"
+
+namespace uae::workload {
+
+/// Parses `text` into a query over `table`. Returns InvalidArgument on syntax
+/// errors, unknown columns, or (for equality/IN) literals absent from the
+/// dictionary.
+util::Result<Query> ParseQuery(const data::Table& table, const std::string& text);
+
+}  // namespace uae::workload

@@ -1,0 +1,119 @@
+#include "workload/persistence.h"
+
+#include <charconv>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace uae::workload {
+
+namespace {
+const char* KindName(Constraint::Kind kind) {
+  switch (kind) {
+    case Constraint::Kind::kNone:
+      return "none";
+    case Constraint::Kind::kRange:
+      return "range";
+    case Constraint::Kind::kNotEqual:
+      return "neq";
+    case Constraint::Kind::kIn:
+      return "in";
+  }
+  return "?";
+}
+
+util::Result<int64_t> ParseInt(const std::string& s) {
+  int64_t v = 0;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || p != s.data() + s.size()) {
+    return util::Status::InvalidArgument("bad integer: " + s);
+  }
+  return v;
+}
+}  // namespace
+
+util::Status SaveWorkload(const Workload& workload, int num_cols,
+                          const std::string& path) {
+  util::CsvDocument doc;
+  doc.header = {"query_id", "col", "kind", "lo", "hi", "neq", "in_codes"};
+  for (size_t qi = 0; qi < workload.size(); ++qi) {
+    const LabeledQuery& lq = workload[qi];
+    if (lq.query.num_cols() != num_cols) {
+      return util::Status::InvalidArgument("query/table column count mismatch");
+    }
+    for (int c = 0; c < num_cols; ++c) {
+      const Constraint& cons = lq.query.constraint(c);
+      if (!cons.IsActive()) continue;
+      std::vector<std::string> in_strs;
+      for (int32_t code : cons.in_codes) in_strs.push_back(std::to_string(code));
+      doc.rows.push_back({std::to_string(qi), std::to_string(c),
+                          KindName(cons.kind), std::to_string(cons.lo),
+                          std::to_string(cons.hi), std::to_string(cons.neq),
+                          util::Join(in_strs, "|")});
+    }
+    doc.rows.push_back({std::to_string(qi), "-1", "card",
+                        util::StrFormat("%.17g", lq.card),
+                        util::StrFormat("%.17g", lq.selectivity), "", ""});
+  }
+  return util::WriteCsv(path, doc);
+}
+
+util::Result<Workload> LoadWorkload(const std::string& path, int num_cols) {
+  auto doc_or = util::ReadCsv(path);
+  if (!doc_or.ok()) return doc_or.status();
+  const util::CsvDocument& doc = doc_or.value();
+  Workload out;
+  LabeledQuery current;
+  current.query = Query(num_cols);
+  int64_t current_id = 0;
+  for (const auto& row : doc.rows) {
+    if (row.size() != 7) return util::Status::InvalidArgument("bad workload row");
+    auto qid_or = ParseInt(row[0]);
+    if (!qid_or.ok()) return qid_or.status();
+    if (qid_or.value() != current_id) {
+      return util::Status::InvalidArgument("workload rows out of order");
+    }
+    if (row[2] == "card") {
+      current.card = std::stod(row[3]);
+      current.selectivity = std::stod(row[4]);
+      out.push_back(std::move(current));
+      current = LabeledQuery{};
+      current.query = Query(num_cols);
+      ++current_id;
+      continue;
+    }
+    auto col_or = ParseInt(row[1]);
+    if (!col_or.ok()) return col_or.status();
+    int col = static_cast<int>(col_or.value());
+    if (col < 0 || col >= num_cols) {
+      return util::Status::InvalidArgument("column index out of range");
+    }
+    Constraint& cons = current.query.mutable_constraint(col);
+    if (row[2] == "range") {
+      cons.kind = Constraint::Kind::kRange;
+      auto lo = ParseInt(row[3]);
+      auto hi = ParseInt(row[4]);
+      if (!lo.ok() || !hi.ok()) return util::Status::InvalidArgument("bad range");
+      cons.lo = static_cast<int32_t>(lo.value());
+      cons.hi = static_cast<int32_t>(hi.value());
+    } else if (row[2] == "neq") {
+      cons.kind = Constraint::Kind::kNotEqual;
+      auto v = ParseInt(row[5]);
+      if (!v.ok()) return v.status();
+      cons.neq = static_cast<int32_t>(v.value());
+    } else if (row[2] == "in") {
+      cons.kind = Constraint::Kind::kIn;
+      for (const std::string& s : util::Split(row[6], '|')) {
+        if (s.empty()) continue;
+        auto v = ParseInt(s);
+        if (!v.ok()) return v.status();
+        cons.in_codes.push_back(static_cast<int32_t>(v.value()));
+      }
+    } else {
+      return util::Status::InvalidArgument("unknown constraint kind: " + row[2]);
+    }
+  }
+  return out;
+}
+
+}  // namespace uae::workload

@@ -1,0 +1,23 @@
+// Save/load labeled workloads as CSV so expensive ground-truth computation
+// (exact executor scans) can be reused across bench runs.
+//
+// Row format: one line per (column, constraint) plus a terminator row per
+// query carrying the cardinality:
+//   query_id, col, kind, lo, hi, neq, in_codes("|"-joined)
+//   query_id, -1, "card", <cardinality>, <selectivity>, ,
+#pragma once
+
+#include <string>
+
+#include "util/status.h"
+#include "workload/query.h"
+
+namespace uae::workload {
+
+util::Status SaveWorkload(const Workload& workload, int num_cols,
+                          const std::string& path);
+
+/// `num_cols` must match the table the workload was generated against.
+util::Result<Workload> LoadWorkload(const std::string& path, int num_cols);
+
+}  // namespace uae::workload

@@ -1,0 +1,51 @@
+// bench/: the shared harness — flag parsing and dataset dispatch.
+#include <gtest/gtest.h>
+
+#include "bench/harness.h"
+
+namespace uae::bench {
+namespace {
+
+TEST(FlagsTest, ParsesKeyValuePairs) {
+  const char* argv[] = {"prog", "--rows=5000", "--lambda=0.01", "--name=dmv",
+                        "--verbose"};
+  Flags flags(5, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("rows", 0), 5000);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("lambda", 0.0), 0.01);
+  EXPECT_EQ(flags.GetString("name", ""), "dmv");
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  // Defaults for absent keys.
+  EXPECT_EQ(flags.GetInt("missing", 7), 7);
+  EXPECT_EQ(flags.GetString("missing", "x"), "x");
+  EXPECT_FALSE(flags.GetBool("missing", false));
+}
+
+TEST(FlagsTest, IgnoresNonFlagArguments) {
+  const char* argv[] = {"prog", "positional", "-single-dash", "--ok=1"};
+  Flags flags(4, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("ok", 0), 1);
+  EXPECT_EQ(flags.GetInt("positional", 3), 3);
+}
+
+TEST(BenchConfigTest, FromFlagsOverrides) {
+  const char* argv[] = {"prog", "--rows=123", "--epochs=9", "--hidden=32"};
+  Flags flags(4, const_cast<char**>(argv));
+  BenchConfig config = BenchConfig::FromFlags(flags);
+  EXPECT_EQ(config.rows, 123u);
+  EXPECT_EQ(config.uae_epochs, 9);
+  EXPECT_EQ(config.hidden, 32);
+  core::UaeConfig uc = config.ToUaeConfig();
+  EXPECT_EQ(uc.hidden, 32);
+}
+
+TEST(BenchDatasetTest, DispatchesByName) {
+  data::Table dmv = BuildDataset("dmv", 500, 1);
+  EXPECT_EQ(dmv.num_cols(), 11);
+  data::Table census = BuildDataset("census", 500, 1);
+  EXPECT_EQ(census.num_cols(), 14);
+  data::Table kdd = BuildDataset("kdd", 500, 1);
+  EXPECT_EQ(kdd.num_cols(), 100);
+}
+
+}  // namespace
+}  // namespace uae::bench

@@ -1,0 +1,91 @@
+// core/: the Gumbel-Softmax trick (Alg. 1) — samples are valid relaxed
+// one-hots, follow the categorical distribution in expectation of their
+// argmax, and sharpen toward one-hot as tau -> 0.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/gumbel.h"
+
+namespace uae::core {
+namespace {
+
+TEST(GumbelTest, SamplesAreDistributions) {
+  util::Rng rng(3);
+  std::vector<float> pi = {0.2f, 0.5f, 0.3f};
+  for (int i = 0; i < 100; ++i) {
+    auto y = GsSample(pi, 1.0f, &rng);
+    float sum = 0;
+    for (float v : y) {
+      EXPECT_GE(v, 0.f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.f, 1e-5f);
+  }
+}
+
+TEST(GumbelTest, ArgmaxFollowsCategorical) {
+  // The Gumbel-max property: argmax(log pi + g) ~ Categorical(pi). The
+  // softmax relaxation preserves the argmax.
+  util::Rng rng(5);
+  std::vector<float> pi = {0.1f, 0.6f, 0.3f};
+  std::vector<int> counts(3, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    auto y = GsSample(pi, 0.5f, &rng);
+    int arg = 0;
+    for (int j = 1; j < 3; ++j) {
+      if (y[static_cast<size_t>(j)] > y[static_cast<size_t>(arg)]) arg = j;
+    }
+    ++counts[static_cast<size_t>(arg)];
+  }
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_NEAR(counts[static_cast<size_t>(j)] / static_cast<double>(n),
+                pi[static_cast<size_t>(j)], 0.02)
+        << "class " << j;
+  }
+}
+
+class GumbelTemperature : public ::testing::TestWithParam<float> {};
+
+TEST_P(GumbelTemperature, LowerTauIsSharper) {
+  // Mean max-coordinate grows as tau decreases.
+  util::Rng rng(7);
+  std::vector<float> pi = {0.25f, 0.25f, 0.25f, 0.25f};
+  float tau = GetParam();
+  double mean_max = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    auto y = GsSample(pi, tau, &rng);
+    mean_max += *std::max_element(y.begin(), y.end());
+  }
+  mean_max /= n;
+  if (tau <= 0.11f) {
+    EXPECT_GT(mean_max, 0.9);  // Nearly one-hot.
+  } else if (tau >= 9.f) {
+    EXPECT_LT(mean_max, 0.5);  // Nearly uniform.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Taus, GumbelTemperature,
+                         ::testing::Values(0.1f, 1.0f, 10.f));
+
+TEST(GumbelTest, ZeroProbabilityNeverSampled) {
+  util::Rng rng(9);
+  std::vector<float> pi = {0.5f, 0.f, 0.5f};
+  for (int i = 0; i < 500; ++i) {
+    auto y = GsSample(pi, 1.0f, &rng);
+    EXPECT_LT(y[1], 1e-6f);
+  }
+}
+
+TEST(GumbelTest, NoiseMatrixStatistics) {
+  nn::Mat g(50, 40);
+  util::Rng rng(11);
+  FillGumbelNoise(&g, &rng);
+  double mean = g.Sum() / static_cast<double>(g.size());
+  EXPECT_NEAR(mean, 0.5772, 0.08);  // Euler–Mascheroni constant.
+}
+
+}  // namespace
+}  // namespace uae::core

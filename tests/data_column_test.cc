@@ -1,0 +1,70 @@
+// data/: Value ordering, order-preserving dictionary columns, code lookups.
+#include <gtest/gtest.h>
+
+#include "data/column.h"
+
+namespace uae::data {
+namespace {
+
+TEST(ValueTest, OrderingAndToString) {
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value(std::string("abc")), Value(std::string("abd")));
+  EXPECT_LT(Value(1.5), Value(2.5));
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value(std::string("x")).ToString(), "x");
+  EXPECT_TRUE(Value(int64_t{3}).IsNumeric());
+  EXPECT_FALSE(Value(std::string("s")).IsNumeric());
+  EXPECT_DOUBLE_EQ(Value(int64_t{3}).Numeric(), 3.0);
+}
+
+TEST(ColumnTest, OrderPreservingDictionary) {
+  Column c = Column::FromInts("x", {30, 10, 20, 10, 30, 30});
+  EXPECT_EQ(c.domain(), 3);
+  EXPECT_EQ(c.num_rows(), 6u);
+  // Codes follow value order: 10 -> 0, 20 -> 1, 30 -> 2.
+  EXPECT_EQ(c.code_at(0), 2);
+  EXPECT_EQ(c.code_at(1), 0);
+  EXPECT_EQ(c.code_at(2), 1);
+  EXPECT_EQ(c.ValueForCode(0).AsInt(), 10);
+  EXPECT_EQ(c.ValueForCode(2).AsInt(), 30);
+}
+
+TEST(ColumnTest, CodeLookups) {
+  Column c = Column::FromInts("x", {10, 20, 40});
+  EXPECT_EQ(c.CodeForValue(Value(int64_t{20})).value(), 1);
+  EXPECT_FALSE(c.CodeForValue(Value(int64_t{30})).has_value());
+  // LowerBound / UpperBound behave like std::lower_bound on the dictionary.
+  EXPECT_EQ(c.LowerBoundCode(Value(int64_t{15})), 1);
+  EXPECT_EQ(c.LowerBoundCode(Value(int64_t{20})), 1);
+  EXPECT_EQ(c.UpperBoundCode(Value(int64_t{20})), 2);
+  EXPECT_EQ(c.LowerBoundCode(Value(int64_t{100})), 3);
+}
+
+TEST(ColumnTest, StringDictionary) {
+  Column c = Column::FromValues(
+      "s", {Value(std::string("Tim")), Value(std::string("James")),
+            Value(std::string("Paul")), Value(std::string("James"))});
+  // Sorted: James=0, Paul=1, Tim=2 — the paper's §4.2 example.
+  EXPECT_EQ(c.domain(), 3);
+  EXPECT_EQ(c.code_at(0), 2);
+  EXPECT_EQ(c.code_at(1), 0);
+  EXPECT_EQ(c.code_at(3), 0);
+}
+
+TEST(ColumnTest, Frequencies) {
+  Column c = Column::FromCodes("x", {0, 1, 1, 2, 1}, 4);
+  const auto& f = c.Frequencies();
+  EXPECT_EQ(f, (std::vector<int64_t>{1, 3, 1, 0}));
+  c.AppendCode(3);
+  EXPECT_EQ(c.Frequencies()[3], 1);
+  EXPECT_EQ(c.num_rows(), 6u);
+}
+
+TEST(ColumnTest, FromCodesIdentityDictionary) {
+  Column c = Column::FromCodes("x", {5, 0, 3}, 6);
+  EXPECT_EQ(c.domain(), 6);
+  EXPECT_EQ(c.ValueForCode(5).AsInt(), 5);
+}
+
+}  // namespace
+}  // namespace uae::data

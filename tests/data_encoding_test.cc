@@ -1,0 +1,66 @@
+// data/: binary/one-hot encoding matrices and wildcard rows.
+#include <gtest/gtest.h>
+
+#include "data/encoding.h"
+
+namespace uae::data {
+namespace {
+
+TEST(EncodingTest, BinaryBits) {
+  EXPECT_EQ(BinaryBits(1), 1);
+  EXPECT_EQ(BinaryBits(2), 1);
+  EXPECT_EQ(BinaryBits(3), 2);
+  EXPECT_EQ(BinaryBits(4), 2);
+  EXPECT_EQ(BinaryBits(5), 3);
+  EXPECT_EQ(BinaryBits(1024), 10);
+  EXPECT_EQ(BinaryBits(1025), 11);
+}
+
+TEST(EncodingTest, BinaryMatrixCodesAndWildcard) {
+  nn::Mat enc = BinaryEncodingMatrix(5);  // 3 bits + wildcard flag.
+  EXPECT_EQ(enc.rows(), 6);
+  EXPECT_EQ(enc.cols(), 4);
+  // Code 5 = 101 (LSB first: 1, 0, 1).
+  EXPECT_FLOAT_EQ(enc.at(4, 0), 0.f);  // 4 = 100 -> bits (0,0,1).
+  EXPECT_FLOAT_EQ(enc.at(4, 2), 1.f);
+  // All value rows have wildcard flag 0; wildcard row is zeros + flag 1.
+  for (int c = 0; c < 5; ++c) EXPECT_FLOAT_EQ(enc.at(c, 3), 0.f);
+  EXPECT_FLOAT_EQ(enc.at(5, 3), 1.f);
+  for (int b = 0; b < 3; ++b) EXPECT_FLOAT_EQ(enc.at(5, b), 0.f);
+}
+
+TEST(EncodingTest, BinaryRowsAreDistinct) {
+  nn::Mat enc = BinaryEncodingMatrix(13);
+  for (int a = 0; a < 14; ++a) {
+    for (int b = a + 1; b < 14; ++b) {
+      bool same = true;
+      for (int c = 0; c < enc.cols(); ++c) {
+        if (enc.at(a, c) != enc.at(b, c)) {
+          same = false;
+          break;
+        }
+      }
+      EXPECT_FALSE(same) << "rows " << a << " and " << b << " collide";
+    }
+  }
+}
+
+TEST(EncodingTest, OneHotMatrix) {
+  nn::Mat enc = OneHotEncodingMatrix(3);
+  EXPECT_EQ(enc.rows(), 4);
+  EXPECT_EQ(enc.cols(), 4);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_FLOAT_EQ(enc.at(r, c), r == c ? 1.f : 0.f);
+    }
+  }
+}
+
+TEST(EncodingTest, EncodedWidth) {
+  EXPECT_EQ(EncodedWidth(EncoderKind::kBinary, 5, 16), 4);
+  EXPECT_EQ(EncodedWidth(EncoderKind::kOneHot, 5, 16), 6);
+  EXPECT_EQ(EncodedWidth(EncoderKind::kEmbedding, 5, 16), 16);
+}
+
+}  // namespace
+}  // namespace uae::data

@@ -1,0 +1,91 @@
+// data/: column factorization — digit decomposition, composition, virtual
+// schema bookkeeping, and the digit-range bounds used for range predicates.
+#include <gtest/gtest.h>
+
+#include "core/targets.h"
+#include "data/factorization.h"
+#include "data/synthetic.h"
+
+namespace uae::data {
+namespace {
+
+Table BigDomainTable() {
+  std::vector<int32_t> codes;
+  for (int32_t i = 0; i < 1000; ++i) codes.push_back(i % 1000);
+  std::vector<Column> cols;
+  cols.push_back(Column::FromCodes("big", std::move(codes), 1000));
+  cols.push_back(Column::FromCodes("small", std::vector<int32_t>(1000, 1), 4));
+  return Table("t", std::move(cols));
+}
+
+TEST(FactorizationTest, NoFactorizationBelowThreshold) {
+  Table t = BigDomainTable();
+  VirtualSchema vs = VirtualSchema::Build(t, /*threshold=*/2048, /*bits=*/8);
+  EXPECT_EQ(vs.num_virtual(), 2);
+  EXPECT_FALSE(vs.IsFactorized(0));
+  EXPECT_EQ(vs.vcol(0).domain, 1000);
+}
+
+TEST(FactorizationTest, SplitsLargeDomains) {
+  Table t = BigDomainTable();
+  VirtualSchema vs = VirtualSchema::Build(t, /*threshold=*/256, /*bits=*/5);
+  // 1000 needs 10 bits -> 2 digits of 5 bits; msd domain = 999>>5 + 1 = 32.
+  EXPECT_TRUE(vs.IsFactorized(0));
+  EXPECT_FALSE(vs.IsFactorized(1));
+  ASSERT_EQ(vs.VirtualsOf(0).size(), 2u);
+  EXPECT_EQ(vs.vcol(0).domain, 32);
+  EXPECT_EQ(vs.vcol(1).domain, 32);
+  EXPECT_EQ(vs.num_virtual(), 3);
+}
+
+TEST(FactorizationTest, DecomposeComposeRoundTrip) {
+  Table t = BigDomainTable();
+  VirtualSchema vs = VirtualSchema::Build(t, 256, 5);
+  for (int32_t code : {0, 1, 31, 32, 512, 999}) {
+    std::vector<int32_t> digits;
+    for (int vc : vs.VirtualsOf(0)) digits.push_back(vs.Digit(vc, code));
+    EXPECT_EQ(vs.Compose(0, digits), code) << "code " << code;
+  }
+}
+
+TEST(FactorizationTest, EncodeRowMatchesDigits) {
+  Table t = BigDomainTable();
+  VirtualSchema vs = VirtualSchema::Build(t, 256, 5);
+  std::vector<int32_t> orig = {777, 2};
+  std::vector<int32_t> virt;
+  vs.EncodeRow(orig, &virt);
+  ASSERT_EQ(virt.size(), 3u);
+  EXPECT_EQ(virt[0], 777 >> 5);
+  EXPECT_EQ(virt[1], 777 & 31);
+  EXPECT_EQ(virt[2], 2);
+}
+
+TEST(FactorizationTest, DigitRangeBoundsEnumerateExactly) {
+  // For every range [lo,hi], walking digits most-significant-first with
+  // DigitRangeState must admit exactly the codes in [lo,hi].
+  Table t = BigDomainTable();
+  VirtualSchema vs = VirtualSchema::Build(t, 256, 5);
+  const auto& vcs = vs.VirtualsOf(0);
+  auto in_range_via_digits = [&](int32_t code, int32_t lo, int32_t hi) {
+    core::DigitRangeState state(t.num_cols());
+    for (int vc : vcs) {
+      int32_t dlo = 0, dhi = 0;
+      state.DigitBounds(vs, vc, lo, hi, &dlo, &dhi);
+      int32_t digit = vs.Digit(vc, code);
+      if (digit < dlo || digit > dhi) return false;
+      state.Advance(vs, vc, lo, hi, digit);
+    }
+    return true;
+  };
+  const std::pair<int32_t, int32_t> ranges[] = {
+      {0, 999}, {100, 100}, {31, 32}, {0, 31}, {960, 999}, {123, 456}};
+  for (auto [lo, hi] : ranges) {
+    for (int32_t code = 0; code < 1000; ++code) {
+      EXPECT_EQ(in_range_via_digits(code, lo, hi), code >= lo && code <= hi)
+          << "code " << code << " range [" << lo << "," << hi << "]";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uae::data

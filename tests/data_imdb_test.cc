@@ -1,0 +1,150 @@
+// data/: the IMDB-star join substrate. The critical invariant: weighted counts
+// over the materialized full-outer-join universe equal direct join
+// computation on the base tables, for every table subset.
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "data/imdb_star.h"
+#include "workload/executor.h"
+#include "workload/join_workload.h"
+
+namespace uae::data {
+namespace {
+
+ImdbStarConfig SmallConfig() {
+  ImdbStarConfig c;
+  c.num_titles = 800;
+  c.seed = 3;
+  return c;
+}
+
+TEST(ImdbStarTest, UniverseShape) {
+  JoinUniverse uni = BuildImdbStar(SmallConfig());
+  EXPECT_EQ(uni.NumTables(), 3);
+  EXPECT_EQ(uni.tables[0].name, "title");
+  EXPECT_GE(uni.full_join_rows, 800u);  // At least one row per title.
+  EXPECT_EQ(uni.universe.num_rows(), uni.full_join_rows);
+  ASSERT_EQ(uni.base_tables.size(), 3u);
+  EXPECT_EQ(uni.base_tables[0].num_rows(), 800u);
+}
+
+TEST(ImdbStarTest, NullExtensionConsistency) {
+  JoinUniverse uni = BuildImdbStar(SmallConfig());
+  // Whenever an indicator is 0, all that table's content columns are NULL
+  // (code 0) and the fanout is 1.
+  for (int t = 1; t < uni.NumTables(); ++t) {
+    const JoinTableInfo& info = uni.tables[static_cast<size_t>(t)];
+    for (size_t r = 0; r < uni.universe.num_rows(); ++r) {
+      if (uni.universe.column(info.indicator_col).code_at(r) == 0) {
+        for (int c : info.content_cols) {
+          EXPECT_EQ(uni.universe.column(c).code_at(r), 0);
+        }
+        EXPECT_EQ(uni.FanoutAt(t, r), 1);
+      } else {
+        for (int c : info.content_cols) {
+          EXPECT_GT(uni.universe.column(c).code_at(r), 0);
+        }
+      }
+    }
+  }
+}
+
+/// Direct (nested-loop) join cardinality over base tables for a subset mask.
+double DirectJoinCard(const JoinUniverse& uni, const workload::JoinQuery& q) {
+  // Per-title match counts per dimension table; fact predicate as filter.
+  const Table& title = uni.base_tables[0];
+  std::vector<double> card_per_title(title.num_rows(), 0.0);
+  // Start: titles matching the fact filters contribute 1.
+  workload::Query fact_q(title.num_cols());
+  const JoinTableInfo& fact = uni.tables[0];
+  for (size_t i = 0; i < fact.content_cols.size(); ++i) {
+    fact_q.mutable_constraint(fact.base_content_cols[i]) =
+        q.pred.constraint(fact.content_cols[i]);
+  }
+  for (size_t r = 0; r < title.num_rows(); ++r) {
+    card_per_title[r] = fact_q.MatchesRow(title, r) ? 1.0 : 0.0;
+  }
+  for (int t = 1; t < uni.NumTables(); ++t) {
+    if (!(q.table_mask & (1u << t))) continue;
+    const JoinTableInfo& info = uni.tables[static_cast<size_t>(t)];
+    const Table& base = uni.base_tables[static_cast<size_t>(info.base_table)];
+    workload::Query base_q(base.num_cols());
+    for (size_t i = 0; i < info.content_cols.size(); ++i) {
+      const workload::Constraint& cons = q.pred.constraint(info.content_cols[i]);
+      if (!cons.IsActive()) continue;
+      workload::Constraint shifted = cons;
+      if (shifted.kind == workload::Constraint::Kind::kRange) {
+        shifted.lo = std::max(0, shifted.lo - 1);
+        shifted.hi = shifted.hi - 1;
+      }
+      base_q.mutable_constraint(info.base_content_cols[i]) = shifted;
+    }
+    std::unordered_map<int32_t, int> matches;
+    for (size_t r = 0; r < base.num_rows(); ++r) {
+      if (base_q.MatchesRow(base, r)) ++matches[base.column(0).code_at(r)];
+    }
+    for (size_t i = 0; i < card_per_title.size(); ++i) {
+      auto it = matches.find(static_cast<int32_t>(i));
+      card_per_title[i] *= it == matches.end() ? 0.0 : it->second;
+    }
+  }
+  double total = 0;
+  for (double v : card_per_title) total += v;
+  return total;
+}
+
+TEST(ImdbStarTest, WeightedUniverseCountEqualsDirectJoin) {
+  JoinUniverse uni = BuildImdbStar(SmallConfig());
+  util::Rng rng(5);
+  // Many random queries over all subset masks.
+  workload::JoinGeneratorConfig gc;
+  gc.focused = false;
+  workload::JoinQueryGenerator gen(uni, gc, 17);
+  for (int i = 0; i < 30; ++i) {
+    workload::JoinQuery q = gen.Generate();
+    double via_universe = workload::JoinTrueCard(uni, q);
+    double direct = DirectJoinCard(uni, q);
+    EXPECT_NEAR(via_universe, direct, 1e-6 + direct * 1e-9)
+        << "mask=" << q.table_mask << " query " << i;
+  }
+}
+
+TEST(ImdbStarTest, FullMaskFocusedQueriesNonEmpty) {
+  JoinUniverse uni = BuildImdbStar(SmallConfig());
+  workload::JoinGeneratorConfig gc;
+  gc.focused = true;
+  workload::JoinQueryGenerator gen(uni, gc, 23);
+  auto w = gen.GenerateLabeled(20, nullptr);
+  int nonzero = 0;
+  for (const auto& lq : w) nonzero += lq.card > 0 ? 1 : 0;
+  EXPECT_GT(nonzero, 10);
+}
+
+TEST(ImdbStarTest, JobMSchemaHasSixTables) {
+  ImdbStarConfig c;
+  c.num_titles = 300;
+  c.dims = JobMDims();
+  JoinUniverse uni = BuildImdbStar(c);
+  EXPECT_EQ(uni.NumTables(), 6);
+  EXPECT_EQ(uni.base_tables.size(), 6u);
+}
+
+TEST(ImdbStarTest, RestrictToSubsetDropsOtherPredicates) {
+  JoinUniverse uni = BuildImdbStar(SmallConfig());
+  workload::JoinGeneratorConfig gc;
+  gc.focused = true;
+  workload::JoinQueryGenerator gen(uni, gc, 31);
+  workload::JoinQuery q = gen.Generate();
+  workload::JoinQuery sub = workload::RestrictToSubset(uni, q, 0b011);
+  EXPECT_EQ(sub.table_mask, 0b011u);
+  // movie_info predicates and indicator must be gone.
+  const JoinTableInfo& mi = uni.tables[2];
+  EXPECT_FALSE(sub.pred.constraint(mi.indicator_col).IsActive());
+  for (int c : mi.content_cols) {
+    EXPECT_FALSE(sub.pred.constraint(c).IsActive());
+  }
+}
+
+}  // namespace
+}  // namespace uae::data

@@ -1,0 +1,76 @@
+// data/: synthetic dataset generators match the shapes DESIGN.md promises
+// (column counts, domain ladders, skew and correlation regimes) and are
+// deterministic under a fixed seed.
+#include <gtest/gtest.h>
+
+#include "data/stats.h"
+#include "data/synthetic.h"
+#include "util/mathutil.h"
+
+namespace uae::data {
+namespace {
+
+TEST(SyntheticTest, DmvShape) {
+  Table t = SyntheticDmv(5000, 1);
+  EXPECT_EQ(t.num_cols(), 11);
+  EXPECT_EQ(t.num_rows(), 5000u);
+  DatasetStats s = ComputeStats(t);
+  EXPECT_EQ(s.min_domain, 2);
+  EXPECT_EQ(s.max_domain, 1000);
+  EXPECT_GT(s.skewness, 1.0) << "DMV analog must be strongly skewed";
+  EXPECT_GT(s.correlation, 0.08) << "DMV analog must be strongly correlated";
+  EXPECT_EQ(t.LargestDomainColumn(), t.ColumnIndex("model_year"));
+}
+
+TEST(SyntheticTest, CensusShape) {
+  Table t = SyntheticCensus(5000, 2);
+  EXPECT_EQ(t.num_cols(), 14);
+  DatasetStats s = ComputeStats(t);
+  EXPECT_EQ(s.min_domain, 2);
+  EXPECT_EQ(s.max_domain, 123);
+  // Census is the weak-skew / weak-correlation dataset.
+  DatasetStats dmv = ComputeStats(SyntheticDmv(5000, 2));
+  EXPECT_LT(s.correlation, dmv.correlation);
+}
+
+TEST(SyntheticTest, KddShape) {
+  Table t = SyntheticKdd(3000, 3);
+  EXPECT_EQ(t.num_cols(), 100);
+  DatasetStats s = ComputeStats(t, /*max_pairs=*/32);
+  EXPECT_EQ(s.min_domain, 2);
+  EXPECT_EQ(s.max_domain, 43);
+}
+
+TEST(SyntheticTest, KddGroupStructure) {
+  // Columns within a 5-column group are correlated; across groups independent.
+  Table t = SyntheticKdd(8000, 4);
+  double in_group = util::NormalizedMutualInformation(
+      t.column(0).codes(), t.column(0).domain(), t.column(1).codes(),
+      t.column(1).domain());
+  double cross_group = util::NormalizedMutualInformation(
+      t.column(0).codes(), t.column(0).domain(), t.column(5).codes(),
+      t.column(5).domain());
+  EXPECT_GT(in_group, cross_group * 2 + 0.02);
+}
+
+TEST(SyntheticTest, Deterministic) {
+  Table a = SyntheticDmv(1000, 77);
+  Table b = SyntheticDmv(1000, 77);
+  for (int c = 0; c < a.num_cols(); ++c) {
+    EXPECT_EQ(a.column(c).codes(), b.column(c).codes()) << "column " << c;
+  }
+  Table c3 = SyntheticDmv(1000, 78);
+  EXPECT_NE(a.column(10).codes(), c3.column(10).codes());
+}
+
+TEST(SyntheticTest, TinyCorrelatedDependence) {
+  Table t = TinyCorrelated(5000, 5);
+  EXPECT_EQ(t.num_cols(), 3);
+  double nmi = util::NormalizedMutualInformation(
+      t.column(0).codes(), t.column(0).domain(), t.column(1).codes(),
+      t.column(1).domain());
+  EXPECT_GT(nmi, 0.3);
+}
+
+}  // namespace
+}  // namespace uae::data

@@ -1,0 +1,96 @@
+// data/: Table invariants, row access, slicing, CSV round-trip.
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/csv_table.h"
+#include "data/table.h"
+
+namespace uae::data {
+namespace {
+
+Table MakeTable() {
+  std::vector<Column> cols;
+  cols.push_back(Column::FromInts("a", {1, 2, 3, 1}));
+  cols.push_back(Column::FromInts("b", {10, 10, 30, 40}));
+  return Table("t", std::move(cols));
+}
+
+TEST(TableTest, Basics) {
+  Table t = MakeTable();
+  EXPECT_EQ(t.num_rows(), 4u);
+  EXPECT_EQ(t.num_cols(), 2);
+  EXPECT_EQ(t.ColumnIndex("b"), 1);
+  EXPECT_EQ(t.ColumnIndex("zzz"), -1);
+  EXPECT_EQ(t.RowCodes(2), (std::vector<int32_t>{2, 1}));
+  EXPECT_EQ(t.LargestDomainColumn(), 0);  // Domain 3 vs 3... a={1,2,3}:3, b={10,30,40}:3.
+}
+
+TEST(TableTest, AppendRow) {
+  Table t = MakeTable();
+  t.AppendRowCodes({0, 2});
+  EXPECT_EQ(t.num_rows(), 5u);
+  EXPECT_EQ(t.column(0).code_at(4), 0);
+}
+
+TEST(TableTest, Slice) {
+  Table t = MakeTable();
+  Table s = t.Slice(1, 3, "slice");
+  EXPECT_EQ(s.num_rows(), 2u);
+  // Slices keep the parent's domain so codes remain comparable.
+  EXPECT_EQ(s.column(0).domain(), t.column(0).domain());
+  EXPECT_EQ(s.column(0).code_at(0), t.column(0).code_at(1));
+}
+
+TEST(CsvTableTest, RoundTrip) {
+  Table t = MakeTable();
+  std::string path = "/tmp/uae_table_test.csv";
+  ASSERT_TRUE(WriteTableCsv(t, path).ok());
+  auto loaded = ReadTableCsv(path, "t2");
+  ASSERT_TRUE(loaded.ok());
+  const Table& t2 = loaded.value();
+  ASSERT_EQ(t2.num_rows(), t.num_rows());
+  ASSERT_EQ(t2.num_cols(), t.num_cols());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (int c = 0; c < t.num_cols(); ++c) {
+      EXPECT_EQ(t2.column(c).ValueForCode(t2.column(c).code_at(r)).AsInt(),
+                t.column(c).ValueForCode(t.column(c).code_at(r)).AsInt());
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(CsvTableTest, RaggedCsvRejected) {
+  std::string path = "/tmp/uae_table_ragged.csv";
+  {
+    std::ofstream out(path);
+    out << "a,b\n1,2\n3\n";  // Second row is short.
+  }
+  EXPECT_FALSE(ReadTableCsv(path, "bad").ok());
+  std::filesystem::remove(path);
+}
+
+TEST(CsvTableTest, MissingFileIsIoError) {
+  auto r = ReadTableCsv("/tmp/definitely_not_here_uae.csv", "x");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsvTableTest, StringColumnsSurvive) {
+  std::vector<Column> cols;
+  cols.push_back(Column::FromValues(
+      "name", {Value(std::string("bob")), Value(std::string("alice"))}));
+  cols.push_back(Column::FromInts("age", {30, 25}));
+  Table t("people", std::move(cols));
+  std::string path = "/tmp/uae_table_str_test.csv";
+  ASSERT_TRUE(WriteTableCsv(t, path).ok());
+  auto loaded = ReadTableCsv(path, "p");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().column(0).ValueForCode(
+                loaded.value().column(0).code_at(0)).AsString(),
+            "bob");
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace uae::data

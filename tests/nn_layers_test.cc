@@ -1,0 +1,155 @@
+// nn/: MADE mask construction rules, layer forward shapes, residual blocks,
+// and parameter serialization round-trips.
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "nn/masks.h"
+#include "nn/serialize.h"
+
+namespace uae::nn {
+namespace {
+
+TEST(MasksTest, HiddenDegreesCycle) {
+  auto d = HiddenDegrees(7, 4);  // Degrees cycle over 1..3.
+  EXPECT_EQ(d, (std::vector<int>{1, 2, 3, 1, 2, 3, 1}));
+  auto single = HiddenDegrees(3, 1);
+  EXPECT_EQ(single, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(MasksTest, InputMaskConnectivityRule) {
+  // Columns with widths {2, 1}; degrees d(0)=1, d(1)=2. Hidden degrees {1,2}.
+  Mat m = InputMask({2, 1}, {1, 2});
+  // Col 0 features (rows 0-1): allowed for m(k) >= 1 => both hidden units.
+  EXPECT_FLOAT_EQ(m.at(0, 0), 1.f);
+  EXPECT_FLOAT_EQ(m.at(0, 1), 1.f);
+  EXPECT_FLOAT_EQ(m.at(1, 0), 1.f);
+  // Col 1 feature (row 2): allowed only for m(k) >= 2 => hidden unit 1.
+  EXPECT_FLOAT_EQ(m.at(2, 0), 0.f);
+  EXPECT_FLOAT_EQ(m.at(2, 1), 1.f);
+}
+
+TEST(MasksTest, HiddenMaskMonotone) {
+  Mat m = HiddenMask({1, 2}, {1, 2});
+  EXPECT_FLOAT_EQ(m.at(0, 0), 1.f);  // 1 >= 1
+  EXPECT_FLOAT_EQ(m.at(0, 1), 1.f);  // 2 >= 1
+  EXPECT_FLOAT_EQ(m.at(1, 0), 0.f);  // 1 < 2
+  EXPECT_FLOAT_EQ(m.at(1, 1), 1.f);  // 2 >= 2
+}
+
+TEST(MasksTest, HeadMaskStrictlyBelow) {
+  // Head of column 0 (d=1) sees nothing; head of column 2 (d=3) sees m(k)<3.
+  Mat head0 = HeadMask({1, 2}, 0, 4);
+  EXPECT_FLOAT_EQ(head0.AbsMax(), 0.f);
+  Mat head2 = HeadMask({1, 2}, 2, 4);
+  EXPECT_FLOAT_EQ(head2.at(0, 0), 1.f);
+  EXPECT_FLOAT_EQ(head2.at(1, 0), 1.f);
+  Mat head1 = HeadMask({1, 2}, 1, 4);
+  EXPECT_FLOAT_EQ(head1.at(0, 0), 1.f);  // m=1 < 2
+  EXPECT_FLOAT_EQ(head1.at(1, 0), 0.f);  // m=2 not< 2
+}
+
+TEST(LayersTest, LinearForwardShape) {
+  util::Rng rng(3);
+  Linear fc(4, 6, "fc", &rng);
+  Tensor x = Constant(Mat::Gaussian(5, 4, 1.f, &rng));
+  Tensor y = fc.Forward(x);
+  EXPECT_EQ(y->rows(), 5);
+  EXPECT_EQ(y->cols(), 6);
+  std::vector<NamedParam> params;
+  fc.CollectParams(&params);
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].name, "fc.w");
+  EXPECT_EQ(params[1].name, "fc.b");
+}
+
+TEST(LayersTest, ResidualBlockPreservesShape) {
+  util::Rng rng(5);
+  auto degrees = HiddenDegrees(8, 3);
+  MadeResidualBlock block(degrees, "blk", &rng);
+  Tensor h = Constant(Mat::Gaussian(4, 8, 1.f, &rng));
+  Tensor out = block.Forward(h);
+  EXPECT_EQ(out->rows(), 4);
+  EXPECT_EQ(out->cols(), 8);
+}
+
+TEST(SerializeTest, SaveLoadRoundTrip) {
+  util::Rng rng(7);
+  std::vector<NamedParam> params = {
+      {"w1", Parameter(Mat::Gaussian(3, 4, 1.f, &rng))},
+      {"b1", Parameter(Mat::Gaussian(1, 4, 1.f, &rng))},
+  };
+  std::string path = "/tmp/uae_serialize_test.bin";
+  ASSERT_TRUE(SaveParams(path, params).ok());
+
+  std::vector<NamedParam> loaded = {
+      {"w1", Parameter(Mat::Zeros(3, 4))},
+      {"b1", Parameter(Mat::Zeros(1, 4))},
+  };
+  ASSERT_TRUE(LoadParams(path, &loaded).ok());
+  for (size_t p = 0; p < params.size(); ++p) {
+    for (int r = 0; r < params[p].tensor->rows(); ++r) {
+      for (int c = 0; c < params[p].tensor->cols(); ++c) {
+        EXPECT_FLOAT_EQ(loaded[p].tensor->value().at(r, c),
+                        params[p].tensor->value().at(r, c));
+      }
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, ShapeMismatchRejected) {
+  util::Rng rng(9);
+  std::vector<NamedParam> params = {{"w", Parameter(Mat::Gaussian(2, 2, 1.f, &rng))}};
+  std::string path = "/tmp/uae_serialize_mismatch.bin";
+  ASSERT_TRUE(SaveParams(path, params).ok());
+  std::vector<NamedParam> wrong_shape = {{"w", Parameter(Mat::Zeros(3, 2))}};
+  EXPECT_FALSE(LoadParams(path, &wrong_shape).ok());
+  std::vector<NamedParam> wrong_name = {{"v", Parameter(Mat::Zeros(2, 2))}};
+  EXPECT_FALSE(LoadParams(path, &wrong_name).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, TruncatedFileRejected) {
+  util::Rng rng(13);
+  std::vector<NamedParam> params = {{"w", Parameter(Mat::Gaussian(8, 8, 1.f, &rng))}};
+  std::string path = "/tmp/uae_serialize_trunc.bin";
+  ASSERT_TRUE(SaveParams(path, params).ok());
+  // Truncate to half size.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  std::vector<NamedParam> loaded = {{"w", Parameter(Mat::Zeros(8, 8))}};
+  EXPECT_FALSE(LoadParams(path, &loaded).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, GarbageMagicRejected) {
+  std::string path = "/tmp/uae_serialize_garbage.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a checkpoint at all";
+  }
+  std::vector<NamedParam> loaded = {{"w", Parameter(Mat::Zeros(2, 2))}};
+  EXPECT_FALSE(LoadParams(path, &loaded).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, ParamCounts) {
+  util::Rng rng(11);
+  std::vector<NamedParam> params = {
+      {"a", Parameter(Mat::Zeros(3, 4))},
+      {"b", Parameter(Mat::Zeros(1, 5))},
+  };
+  EXPECT_EQ(ParamCount(params), 17u);
+  EXPECT_EQ(ParamBytes(params), 17u * sizeof(float));
+}
+
+}  // namespace
+}  // namespace uae::nn

@@ -1,0 +1,137 @@
+// nn/: Mat storage and the raw compute kernels (GEMM variants checked against
+// naive reference implementations, softmax normalization, etc.).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/kernels.h"
+#include "nn/mat.h"
+#include "util/rng.h"
+
+namespace uae::nn {
+namespace {
+
+Mat NaiveGemm(const Mat& a, const Mat& b) {
+  Mat c(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < b.cols(); ++j) {
+      float acc = 0;
+      for (int k = 0; k < a.cols(); ++k) acc += a.at(i, k) * b.at(k, j);
+      c.at(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+class GemmSizes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmSizes, MatchesNaive) {
+  auto [m, k, n] = GetParam();
+  util::Rng rng(m * 131 + k * 17 + n);
+  Mat a = Mat::Gaussian(m, k, 1.f, &rng);
+  Mat b = Mat::Gaussian(k, n, 1.f, &rng);
+  Mat expected = NaiveGemm(a, b);
+
+  Mat c(m, n);
+  GemmAccum(a, b, &c);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) EXPECT_NEAR(c.at(i, j), expected.at(i, j), 1e-3f);
+  }
+  // A^T via GemmTn: (A^T)^T * B.
+  Mat at(k, m);
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < k; ++p) at.at(p, i) = a.at(i, p);
+  }
+  Mat c2(m, n);
+  GemmTnAccum(at, b, &c2);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) EXPECT_NEAR(c2.at(i, j), expected.at(i, j), 1e-3f);
+  }
+  // B^T via GemmNt: A * (B^T)^T.
+  Mat bt(n, k);
+  for (int p = 0; p < k; ++p) {
+    for (int j = 0; j < n; ++j) bt.at(j, p) = b.at(p, j);
+  }
+  Mat c3(m, n);
+  GemmNtAccum(a, bt, &c3);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) EXPECT_NEAR(c3.at(i, j), expected.at(i, j), 1e-3f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmSizes,
+                         ::testing::Values(std::make_tuple(1, 1, 1),
+                                           std::make_tuple(3, 5, 2),
+                                           std::make_tuple(17, 9, 23),
+                                           std::make_tuple(64, 32, 48),
+                                           std::make_tuple(130, 70, 90)));
+
+TEST(KernelsTest, GemmAccumulates) {
+  util::Rng rng(4);
+  Mat a = Mat::Gaussian(4, 4, 1.f, &rng);
+  Mat b = Mat::Gaussian(4, 4, 1.f, &rng);
+  Mat c = Mat::Full(4, 4, 1.f);
+  Mat expected = NaiveGemm(a, b);
+  GemmAccum(a, b, &c);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) EXPECT_NEAR(c.at(i, j), expected.at(i, j) + 1.f, 1e-4f);
+  }
+}
+
+TEST(KernelsTest, SoftmaxRowsSumToOne) {
+  util::Rng rng(5);
+  Mat in = Mat::Gaussian(7, 13, 5.f, &rng);
+  in.at(0, 0) = 1e4f;  // Stability under extreme logits.
+  Mat out(7, 13);
+  SoftmaxRows(in, &out);
+  for (int r = 0; r < 7; ++r) {
+    float sum = 0;
+    for (int c = 0; c < 13; ++c) {
+      EXPECT_GE(out.at(r, c), 0.f);
+      sum += out.at(r, c);
+    }
+    EXPECT_NEAR(sum, 1.f, 1e-5f);
+  }
+}
+
+TEST(KernelsTest, LogSoftmaxMatchesSoftmax) {
+  util::Rng rng(6);
+  Mat in = Mat::Gaussian(3, 8, 2.f, &rng);
+  Mat sm(3, 8), lsm(3, 8);
+  SoftmaxRows(in, &sm);
+  LogSoftmaxRows(in, &lsm);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      EXPECT_NEAR(std::exp(lsm.at(r, c)), sm.at(r, c), 1e-5f);
+    }
+  }
+}
+
+TEST(KernelsTest, AddBiasAndRelu) {
+  Mat in = Mat::Full(2, 3, -1.f);
+  Mat bias(1, 3);
+  bias.at(0, 2) = 5.f;
+  Mat out(2, 3);
+  AddBiasRows(in, bias, &out);
+  EXPECT_FLOAT_EQ(out.at(0, 0), -1.f);
+  EXPECT_FLOAT_EQ(out.at(1, 2), 4.f);
+  ReluInplace(&out);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 0.f);
+  EXPECT_FLOAT_EQ(out.at(1, 2), 4.f);
+}
+
+TEST(MatTest, ConstructorsAndAccessors) {
+  Mat z = Mat::Zeros(2, 3);
+  EXPECT_EQ(z.rows(), 2);
+  EXPECT_EQ(z.cols(), 3);
+  EXPECT_DOUBLE_EQ(z.Sum(), 0.0);
+  Mat f = Mat::Full(2, 2, 3.f);
+  EXPECT_DOUBLE_EQ(f.Sum(), 12.0);
+  EXPECT_FLOAT_EQ(f.AbsMax(), 3.f);
+  Mat v = Mat::FromVector(2, 2, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(v.at(1, 0), 3.f);
+  EXPECT_EQ(v.ShapeString(), "[2x2]");
+}
+
+}  // namespace
+}  // namespace uae::nn

@@ -1,0 +1,74 @@
+// nn/: optimizers converge on a convex problem; gradient clipping bounds the
+// global norm.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/optimizer.h"
+#include "nn/ops.h"
+
+namespace uae::nn {
+namespace {
+
+// Minimize ||x - target||^2 from a fixed start.
+template <typename Opt>
+double RunQuadratic(Opt& opt, const Tensor& x, const Mat& target, int steps) {
+  double loss_val = 0;
+  for (int s = 0; s < steps; ++s) {
+    Tensor loss = MseLoss(x, target);
+    loss_val = loss->value().at(0, 0);
+    Backward(loss);
+    opt.Step();
+    opt.ZeroGrad();
+  }
+  return loss_val;
+}
+
+TEST(OptimizerTest, SgdConverges) {
+  Tensor x = Parameter(Mat::Full(2, 2, 5.f));
+  Mat target = Mat::Full(2, 2, 1.f);
+  Sgd sgd({{"x", x}}, 0.2f);
+  double final_loss = RunQuadratic(sgd, x, target, 100);
+  EXPECT_LT(final_loss, 1e-6);
+}
+
+TEST(OptimizerTest, AdamConverges) {
+  Tensor x = Parameter(Mat::Full(2, 2, 5.f));
+  Mat target = Mat::Full(2, 2, 1.f);
+  Adam adam({{"x", x}}, 0.1f);
+  double final_loss = RunQuadratic(adam, x, target, 300);
+  EXPECT_LT(final_loss, 1e-4);
+  EXPECT_EQ(adam.step_count(), 300);
+}
+
+TEST(OptimizerTest, WeightDecayShrinksWeights) {
+  Tensor x = Parameter(Mat::Full(1, 1, 1.f));
+  Sgd sgd({{"x", x}}, 0.1f, /*weight_decay=*/0.5f);
+  // No loss gradient at all: only decay acts.
+  x->grad();  // Allocate zero grad.
+  for (int i = 0; i < 10; ++i) sgd.Step();
+  EXPECT_LT(x->value().at(0, 0), 1.f);
+  EXPECT_GT(x->value().at(0, 0), 0.f);
+}
+
+TEST(OptimizerTest, ClipGradNorm) {
+  Tensor x = Parameter(Mat::Full(1, 4, 0.f));
+  x->grad().Fill(3.f);  // Norm = 6.
+  float pre = ClipGradNorm({{"x", x}}, 1.5f);
+  EXPECT_NEAR(pre, 6.f, 1e-4f);
+  double norm = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    norm += x->grad().data()[i] * x->grad().data()[i];
+  }
+  EXPECT_NEAR(std::sqrt(norm), 1.5, 1e-4);
+}
+
+TEST(OptimizerTest, ClipNoopBelowThreshold) {
+  Tensor x = Parameter(Mat::Full(1, 4, 0.f));
+  x->grad().Fill(0.1f);
+  ClipGradNorm({{"x", x}}, 10.f);
+  EXPECT_FLOAT_EQ(x->grad().data()[0], 0.1f);
+}
+
+}  // namespace
+}  // namespace uae::nn

@@ -1,0 +1,147 @@
+// optimizer/: DP join ordering optimality under a given cost source, plan
+// flips under bad estimates, and executor correctness vs the weighted
+// universe count.
+#include <gtest/gtest.h>
+
+#include "data/imdb_star.h"
+#include "optimizer/card_provider.h"
+#include "optimizer/dp_optimizer.h"
+#include "optimizer/executor.h"
+#include "workload/join_workload.h"
+
+namespace uae::optimizer {
+namespace {
+
+data::JoinUniverse SmallUniverse() {
+  data::ImdbStarConfig c;
+  c.num_titles = 600;
+  c.seed = 9;
+  return data::BuildImdbStar(c);
+}
+
+/// A provider with hand-set cardinalities per submask.
+class FakeProvider : public JoinCardProvider {
+ public:
+  std::string name() const override { return "fake"; }
+  double Card(const workload::JoinQuery& q, uint32_t submask) override {
+    auto it = cards.find(submask);
+    return it == cards.end() ? 1.0 : it->second;
+  }
+  std::unordered_map<uint32_t, double> cards;
+};
+
+TEST(DpOptimizerTest, PicksCheaperDimensionFirst) {
+  data::JoinUniverse uni = SmallUniverse();  // Tables: 0=title, 1=mc, 2=mi.
+  workload::JoinQuery q;
+  q.table_mask = 0b111;
+  q.pred = workload::Query(uni.universe.num_cols());
+  FakeProvider fake;
+  // Joining mc first gives a tiny intermediate; mi first a huge one.
+  fake.cards[0b011] = 10.0;     // title ⋈ mc
+  fake.cards[0b101] = 10000.0;  // title ⋈ mi
+  fake.cards[0b111] = 500.0;
+  PlanResult plan = OptimizeJoinOrder(uni, q, &fake);
+  // Optimal left-deep: {title, mc} then mi -> mi must be joined LAST.
+  EXPECT_EQ(plan.join_order.back(), 2);
+  EXPECT_DOUBLE_EQ(plan.estimated_cost, 10.0 + 500.0);
+}
+
+TEST(DpOptimizerTest, BadEstimatesFlipThePlan) {
+  data::JoinUniverse uni = SmallUniverse();
+  workload::JoinQuery q;
+  q.table_mask = 0b111;
+  q.pred = workload::Query(uni.universe.num_cols());
+  FakeProvider wrong;
+  wrong.cards[0b011] = 10000.0;  // Misestimated as huge.
+  wrong.cards[0b101] = 10.0;     // Misestimated as tiny.
+  wrong.cards[0b111] = 500.0;
+  PlanResult plan = OptimizeJoinOrder(uni, q, &wrong);
+  EXPECT_EQ(plan.join_order.back(), 1) << "wrong estimates must flip the order";
+}
+
+TEST(DpOptimizerTest, TrueProviderCostIsMinimal) {
+  data::JoinUniverse uni = SmallUniverse();
+  workload::JoinGeneratorConfig gc;
+  gc.focused = true;
+  workload::JoinQueryGenerator gen(uni, gc, 31);
+  TrueCardProvider truth(uni);
+  for (int i = 0; i < 5; ++i) {
+    workload::JoinQuery q = gen.Generate();
+    PlanResult best = OptimizeJoinOrder(uni, q, &truth);
+    // Exhaustive check over all left-deep orders of the 3 tables.
+    std::vector<std::vector<int>> orders = {{0, 1, 2}, {0, 2, 1}, {1, 0, 2},
+                                            {2, 0, 1}};
+    for (const auto& order : orders) {
+      // C_out of this order under true cards.
+      uint32_t mask = 1u << order[0];
+      double cost = 0;
+      for (size_t s = 1; s < order.size(); ++s) {
+        mask |= 1u << order[s];
+        cost += std::max(1.0, truth.Card(q, mask));
+      }
+      EXPECT_LE(best.estimated_cost, cost + 1e-6) << "order not optimal";
+    }
+  }
+}
+
+TEST(ExecutorTest, PlanResultMatchesTrueCard) {
+  data::JoinUniverse uni = SmallUniverse();
+  workload::JoinGeneratorConfig gc;
+  gc.focused = true;
+  workload::JoinQueryGenerator gen(uni, gc, 41);
+  TrueCardProvider truth(uni);
+  for (int i = 0; i < 8; ++i) {
+    workload::JoinQuery q = gen.Generate();
+    PlanResult plan = OptimizeJoinOrder(uni, q, &truth);
+    ExecutionResult result = ExecutePlan(uni, q, plan.join_order);
+    EXPECT_NEAR(result.rows_out, workload::JoinTrueCard(uni, q), 1e-9)
+        << "query " << i;
+  }
+}
+
+TEST(ExecutorTest, AllLeftDeepOrdersAgreeOnOutput) {
+  data::JoinUniverse uni = SmallUniverse();
+  workload::JoinGeneratorConfig gc;
+  gc.focused = true;
+  workload::JoinQueryGenerator gen(uni, gc, 51);
+  workload::JoinQuery q = gen.Generate();
+  double expected = workload::JoinTrueCard(uni, q);
+  for (const auto& order :
+       std::vector<std::vector<int>>{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {2, 0, 1}}) {
+    ExecutionResult r = ExecutePlan(uni, q, order);
+    EXPECT_NEAR(r.rows_out, expected, 1e-9);
+  }
+}
+
+TEST(AviProviderTest, MonotoneInPredicates) {
+  data::JoinUniverse uni = SmallUniverse();
+  AviCardProvider avi(uni);
+  // Unfiltered 3-way join estimate must exceed a filtered one.
+  workload::JoinQuery all;
+  all.table_mask = 0b111;
+  all.pred = workload::Query(uni.universe.num_cols());
+  workload::JoinGeneratorConfig gc;
+  gc.focused = true;
+  gc.min_filters = 4;
+  gc.max_filters = 5;
+  workload::JoinQueryGenerator gen(uni, gc, 61);
+  workload::JoinQuery filtered = gen.Generate();
+  EXPECT_GE(avi.Card(all, 0b111), avi.Card(filtered, 0b111));
+  EXPECT_GE(avi.Card(all, 0b111), 1.0);
+}
+
+TEST(TrueProviderTest, SubsetCardsAreConsistent) {
+  data::JoinUniverse uni = SmallUniverse();
+  TrueCardProvider truth(uni);
+  workload::JoinGeneratorConfig gc;
+  gc.focused = true;
+  workload::JoinQueryGenerator gen(uni, gc, 71);
+  workload::JoinQuery q = gen.Generate();
+  // Singleton fact-table cardinality is bounded by the base table size.
+  EXPECT_LE(truth.Card(q, 0b001), static_cast<double>(uni.base_tables[0].num_rows()));
+  // Full-mask equals JoinTrueCard of the original query.
+  EXPECT_NEAR(truth.Card(q, q.table_mask), workload::JoinTrueCard(uni, q), 1e-9);
+}
+
+}  // namespace
+}  // namespace uae::optimizer

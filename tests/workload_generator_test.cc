@@ -1,0 +1,122 @@
+// workload/: the §5.1.2 workload generator — bounded attribute, filter counts,
+// satisfiability, train/test dedup, center bands for incremental partitions.
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "workload/executor.h"
+#include "workload/generator.h"
+
+namespace uae::workload {
+namespace {
+
+class GeneratorDatasets : public ::testing::TestWithParam<const char*> {};
+
+data::Table Build(const std::string& name) {
+  if (name == "dmv") return data::SyntheticDmv(5000, 2);
+  if (name == "census") return data::SyntheticCensus(5000, 2);
+  return data::SyntheticKdd(3000, 2);
+}
+
+TEST_P(GeneratorDatasets, InWorkloadQueriesHaveBoundedAttribute) {
+  data::Table t = Build(GetParam());
+  GeneratorConfig gc;
+  QueryGenerator gen(t, gc, 3);
+  int bounded_col = t.LargestDomainColumn();
+  for (int i = 0; i < 30; ++i) {
+    Query q = gen.Generate();
+    EXPECT_TRUE(q.constraint(bounded_col).IsActive());
+    EXPECT_EQ(q.constraint(bounded_col).kind, Constraint::Kind::kRange);
+    // nf >= min_filters besides the bounded one (column exhaustion aside).
+    EXPECT_GE(q.NumConstrained(), std::min(gc.min_filters, t.num_cols() - 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, GeneratorDatasets,
+                         ::testing::Values("dmv", "census", "kdd"));
+
+TEST(GeneratorTest, BoundedRangeCoversTargetVolume) {
+  data::Table t = data::SyntheticDmv(5000, 4);
+  GeneratorConfig gc;
+  gc.target_volume = 0.01;
+  QueryGenerator gen(t, gc, 7);
+  int bc = t.LargestDomainColumn();
+  int32_t domain = t.column(bc).domain();
+  for (int i = 0; i < 20; ++i) {
+    Query q = gen.Generate();
+    int64_t width = q.constraint(bc).AllowedCount(domain);
+    EXPECT_LE(width, static_cast<int64_t>(0.02 * domain) + 3);
+    EXPECT_GE(width, 2);
+  }
+}
+
+TEST(GeneratorTest, MostInWorkloadQueriesNonEmpty) {
+  // Literals come from a tuple inside the bounded range, so the large
+  // majority of queries must have card >= 1.
+  data::Table t = data::SyntheticDmv(8000, 5);
+  GeneratorConfig gc;
+  QueryGenerator gen(t, gc, 11);
+  auto w = gen.GenerateLabeled(100, nullptr);
+  int nonzero = 0;
+  for (const auto& lq : w) nonzero += lq.card >= 1 ? 1 : 0;
+  EXPECT_GT(nonzero, 70);
+}
+
+TEST(GeneratorTest, RandomQueriesHaveNoBoundedColumnBias) {
+  data::Table t = data::SyntheticDmv(3000, 6);
+  GeneratorConfig gc;
+  gc.use_bounded = false;
+  QueryGenerator gen(t, gc, 13);
+  int bc = t.LargestDomainColumn();
+  int bounded_hits = 0;
+  for (int i = 0; i < 50; ++i) {
+    Query q = gen.Generate();
+    bounded_hits += q.constraint(bc).IsActive() ? 1 : 0;
+  }
+  // The largest-domain column appears only as a random pick, not always.
+  EXPECT_LT(bounded_hits, 50);
+}
+
+TEST(GeneratorTest, TrainTestDeduplicated) {
+  data::Table t = data::SyntheticCensus(4000, 7);
+  TrainTestWorkloads w = GenerateTrainTest(t, 150, 50, 17);
+  EXPECT_EQ(w.train.size(), 150u);
+  EXPECT_EQ(w.test_in_workload.size(), 50u);
+  EXPECT_EQ(w.test_random.size(), 50u);
+  std::unordered_set<uint64_t> train_fps;
+  for (const auto& lq : w.train) train_fps.insert(lq.query.Fingerprint());
+  for (const auto& lq : w.test_in_workload) {
+    EXPECT_EQ(train_fps.count(lq.query.Fingerprint()), 0u);
+  }
+}
+
+TEST(GeneratorTest, LabelsMatchExecutor) {
+  data::Table t = data::SyntheticCensus(3000, 8);
+  GeneratorConfig gc;
+  QueryGenerator gen(t, gc, 19);
+  auto w = gen.GenerateLabeled(20, nullptr);
+  for (const auto& lq : w) {
+    EXPECT_EQ(lq.card, static_cast<double>(ExecuteCount(t, lq.query)));
+    EXPECT_NEAR(lq.selectivity, lq.card / static_cast<double>(t.num_rows()), 1e-12);
+  }
+}
+
+TEST(GeneratorTest, CenterBandsRestrictBoundedRange) {
+  data::Table t = data::SyntheticDmv(3000, 9);
+  GeneratorConfig gc;
+  gc.center_min = 0.6;
+  gc.center_max = 0.8;
+  QueryGenerator gen(t, gc, 21);
+  int bc = t.LargestDomainColumn();
+  int32_t domain = t.column(bc).domain();
+  for (int i = 0; i < 30; ++i) {
+    Query q = gen.Generate();
+    const Constraint& c = q.constraint(bc);
+    // Center (midpoint) must lie within the band (plus halfwidth slack).
+    double center = 0.5 * (c.lo + c.hi) / domain;
+    EXPECT_GE(center, 0.55);
+    EXPECT_LE(center, 0.85);
+  }
+}
+
+}  // namespace
+}  // namespace uae::workload

@@ -1,0 +1,125 @@
+// workload/: the predicate-expression parser and workload persistence.
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "workload/executor.h"
+#include "workload/generator.h"
+#include "workload/parser.h"
+#include "workload/persistence.h"
+
+namespace uae::workload {
+namespace {
+
+data::Table IntTable() {
+  std::vector<data::Column> cols;
+  cols.push_back(data::Column::FromInts("age", {20, 25, 30, 35, 40, 25, 30}));
+  cols.push_back(data::Column::FromInts("dept", {1, 2, 3, 1, 2, 3, 1}));
+  return data::Table("t", std::move(cols));
+}
+
+TEST(ParserTest, ComparisonOperators) {
+  data::Table t = IntTable();
+  auto q = ParseQuery(t, "age >= 25 AND dept = 2");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(ExecuteCount(t, q.value()), 2);  // (25,2) and (40,2).
+
+  auto q2 = ParseQuery(t, "age < 30");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(ExecuteCount(t, q2.value()), 3);  // 20, 25, 25.
+
+  auto q3 = ParseQuery(t, "age != 30");
+  ASSERT_TRUE(q3.ok());
+  EXPECT_EQ(ExecuteCount(t, q3.value()), 5);
+}
+
+TEST(ParserTest, BetweenAndIn) {
+  data::Table t = IntTable();
+  auto q = ParseQuery(t, "age BETWEEN 25 AND 35");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(ExecuteCount(t, q.value()), 5);
+
+  auto q2 = ParseQuery(t, "dept IN (1, 3)");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(ExecuteCount(t, q2.value()), 5);
+}
+
+TEST(ParserTest, AbsentLiteralsSnapForRanges) {
+  data::Table t = IntTable();
+  // 27 is not in the dictionary; >= 27 means codes of {30, 35, 40}.
+  auto q = ParseQuery(t, "age >= 27");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(ExecuteCount(t, q.value()), 4);
+  // Equality on an absent literal is an error.
+  EXPECT_FALSE(ParseQuery(t, "age = 27").ok());
+}
+
+TEST(ParserTest, EmptyStringIsUnconstrained) {
+  data::Table t = IntTable();
+  auto q = ParseQuery(t, "");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().NumConstrained(), 0);
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  data::Table t = IntTable();
+  EXPECT_FALSE(ParseQuery(t, "bogus_col = 1").ok());
+  EXPECT_FALSE(ParseQuery(t, "age >> 5").ok());
+  EXPECT_FALSE(ParseQuery(t, "age = 25 OR dept = 1").ok());
+  EXPECT_FALSE(ParseQuery(t, "age BETWEEN 20").ok());
+  EXPECT_FALSE(ParseQuery(t, "dept IN ()").ok());
+  EXPECT_FALSE(ParseQuery(t, "age = 'hello'").ok());  // Type mismatch.
+}
+
+TEST(ParserTest, CaseInsensitiveKeywords) {
+  data::Table t = IntTable();
+  auto q = ParseQuery(t, "age between 25 and 35 and dept in (1)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(ExecuteCount(t, q.value()), 2);  // (25..35) with dept 1: 35,30.
+}
+
+TEST(PersistenceTest, RoundTripPreservesQueriesAndCards) {
+  data::Table t = data::SyntheticDmv(4000, 3);
+  GeneratorConfig gc;
+  QueryGenerator gen(t, gc, 7);
+  Workload w = gen.GenerateLabeled(40, nullptr);
+  // Add one IN and one != constraint so all kinds are exercised.
+  {
+    Query q(t.num_cols());
+    q.AddPredicate({0, Op::kNeq, 1, {}}, t.column(0).domain());
+    q.AddPredicate({3, Op::kIn, 0, {2, 5, 9}}, t.column(3).domain());
+    LabeledQuery lq;
+    lq.card = static_cast<double>(ExecuteCount(t, q));
+    lq.selectivity = lq.card / static_cast<double>(t.num_rows());
+    lq.query = std::move(q);
+    w.push_back(std::move(lq));
+  }
+
+  std::string path = "/tmp/uae_workload_test.csv";
+  ASSERT_TRUE(SaveWorkload(w, t.num_cols(), path).ok());
+  auto loaded = LoadWorkload(path, t.num_cols());
+  ASSERT_TRUE(loaded.ok());
+  const Workload& w2 = loaded.value();
+  ASSERT_EQ(w2.size(), w.size());
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_EQ(w2[i].query.Fingerprint(), w[i].query.Fingerprint()) << "query " << i;
+    EXPECT_DOUBLE_EQ(w2[i].card, w[i].card);
+    EXPECT_DOUBLE_EQ(w2[i].selectivity, w[i].selectivity);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(PersistenceTest, LoadRejectsGarbage) {
+  std::string path = "/tmp/uae_workload_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "query_id,col,kind,lo,hi,neq,in_codes\n0,99,range,1,2,,\n";
+  }
+  EXPECT_FALSE(LoadWorkload(path, 5).ok());  // Column out of range.
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace uae::workload

@@ -1,0 +1,188 @@
+// workload/: predicate -> constraint compilation, intersection, masks,
+// fingerprints.
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "workload/query.h"
+
+namespace uae::workload {
+namespace {
+
+TEST(ConstraintTest, OperatorsCompileToCodeSets) {
+  Query q(1);
+  q.AddPredicate({0, Op::kLe, 5, {}}, 10);
+  EXPECT_EQ(q.constraint(0).kind, Constraint::Kind::kRange);
+  EXPECT_EQ(q.constraint(0).lo, 0);
+  EXPECT_EQ(q.constraint(0).hi, 5);
+
+  Query q2(1);
+  q2.AddPredicate({0, Op::kGt, 5, {}}, 10);
+  EXPECT_EQ(q2.constraint(0).lo, 6);
+  EXPECT_EQ(q2.constraint(0).hi, 9);
+
+  Query q3(1);
+  q3.AddPredicate({0, Op::kEq, 7, {}}, 10);
+  EXPECT_EQ(q3.constraint(0).lo, 7);
+  EXPECT_EQ(q3.constraint(0).hi, 7);
+
+  Query q4(1);
+  q4.AddPredicate({0, Op::kNeq, 3, {}}, 10);
+  EXPECT_EQ(q4.constraint(0).kind, Constraint::Kind::kNotEqual);
+  EXPECT_FALSE(q4.constraint(0).Matches(3));
+  EXPECT_TRUE(q4.constraint(0).Matches(4));
+
+  Query q5(1);
+  q5.AddPredicate({0, Op::kIn, 0, {5, 2, 2, 8}}, 10);
+  EXPECT_EQ(q5.constraint(0).kind, Constraint::Kind::kIn);
+  EXPECT_EQ(q5.constraint(0).in_codes, (std::vector<int32_t>{2, 5, 8}));
+  EXPECT_TRUE(q5.constraint(0).Matches(5));
+  EXPECT_FALSE(q5.constraint(0).Matches(3));
+}
+
+TEST(ConstraintTest, RangeIntersection) {
+  Query q(1);
+  q.AddPredicate({0, Op::kGe, 3, {}}, 10);
+  q.AddPredicate({0, Op::kLe, 7, {}}, 10);
+  EXPECT_EQ(q.constraint(0).lo, 3);
+  EXPECT_EQ(q.constraint(0).hi, 7);
+  EXPECT_EQ(q.constraint(0).AllowedCount(10), 5);
+}
+
+TEST(ConstraintTest, MixedKindIntersectionFallsBackToIn) {
+  Query q(1);
+  q.AddPredicate({0, Op::kGe, 3, {}}, 10);
+  q.AddPredicate({0, Op::kNeq, 5, {}}, 10);
+  EXPECT_EQ(q.constraint(0).kind, Constraint::Kind::kIn);
+  EXPECT_EQ(q.constraint(0).in_codes, (std::vector<int32_t>{3, 4, 6, 7, 8, 9}));
+}
+
+TEST(ConstraintTest, AllowedMaskMatchesMatches) {
+  const int32_t domain = 12;
+  std::vector<Constraint> cases;
+  {
+    Constraint c;
+    c.kind = Constraint::Kind::kRange;
+    c.lo = 2;
+    c.hi = 9;
+    cases.push_back(c);
+  }
+  {
+    Constraint c;
+    c.kind = Constraint::Kind::kNotEqual;
+    c.neq = 4;
+    cases.push_back(c);
+  }
+  {
+    Constraint c;
+    c.kind = Constraint::Kind::kIn;
+    c.in_codes = {1, 5, 11};
+    cases.push_back(c);
+  }
+  {
+    Constraint c;  // kNone.
+    cases.push_back(c);
+  }
+  for (const Constraint& c : cases) {
+    auto mask = c.AllowedMask(domain);
+    int64_t count = 0;
+    for (int32_t v = 0; v < domain; ++v) {
+      EXPECT_EQ(mask[static_cast<size_t>(v)] != 0, c.Matches(v));
+      count += mask[static_cast<size_t>(v)];
+    }
+    EXPECT_EQ(count, c.AllowedCount(domain));
+  }
+}
+
+TEST(ConstraintTest, EmptyRange) {
+  Constraint c;
+  c.kind = Constraint::Kind::kRange;
+  c.lo = 7;
+  c.hi = 3;
+  EXPECT_TRUE(c.IsEmpty(10));
+  EXPECT_EQ(c.AllowedCount(10), 0);
+}
+
+TEST(QueryTest, FingerprintsDistinguishQueries) {
+  Query a(3), b(3), c(3);
+  a.AddPredicate({0, Op::kEq, 1, {}}, 10);
+  b.AddPredicate({0, Op::kEq, 2, {}}, 10);
+  c.AddPredicate({1, Op::kEq, 1, {}}, 10);
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  EXPECT_NE(a.Fingerprint(), c.Fingerprint());
+  Query a2(3);
+  a2.AddPredicate({0, Op::kEq, 1, {}}, 10);
+  EXPECT_EQ(a.Fingerprint(), a2.Fingerprint());
+}
+
+TEST(QueryTest, IntersectQueriesPerColumn) {
+  data::Table t = data::TinyCorrelated(100, 3);
+  Query a(t.num_cols()), b(t.num_cols());
+  a.AddPredicate({0, Op::kGe, 2, {}}, t.column(0).domain());
+  b.AddPredicate({0, Op::kLe, 5, {}}, t.column(0).domain());
+  b.AddPredicate({1, Op::kEq, 1, {}}, t.column(1).domain());
+  Query c = IntersectQueries(a, b, t);
+  EXPECT_EQ(c.constraint(0).lo, 2);
+  EXPECT_EQ(c.constraint(0).hi, 5);
+  EXPECT_EQ(c.constraint(1).lo, 1);
+  EXPECT_FALSE(c.constraint(2).IsActive());
+}
+
+TEST(QueryTest, DisjunctionViaInclusionExclusionIsExact) {
+  data::Table t = data::TinyCorrelated(3000, 5);
+  // Overlapping disjuncts: a0<=2, a0>=2 (full overlap at 2), and c=1.
+  Query q1(t.num_cols()), q2(t.num_cols()), q3(t.num_cols());
+  q1.AddPredicate({0, Op::kLe, 2, {}}, t.column(0).domain());
+  q2.AddPredicate({0, Op::kGe, 2, {}}, t.column(0).domain());
+  q3.AddPredicate({2, Op::kEq, 1, {}}, t.column(2).domain());
+  std::vector<Query> disjuncts = {q1, q2, q3};
+  // Exact oracle for the conjunctions -> inclusion-exclusion must equal a
+  // direct scan of the OR.
+  auto oracle = [&](const Query& q) {
+    int64_t n = 0;
+    for (size_t r = 0; r < t.num_rows(); ++r) n += q.MatchesRow(t, r) ? 1 : 0;
+    return static_cast<double>(n);
+  };
+  double via_ie = EstimateDisjunctionCard(disjuncts, t, oracle);
+  int64_t direct = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    bool any = false;
+    for (const Query& q : disjuncts) any = any || q.MatchesRow(t, r);
+    direct += any ? 1 : 0;
+  }
+  EXPECT_NEAR(via_ie, static_cast<double>(direct), 1e-9);
+}
+
+TEST(QueryTest, DisjunctionSkipsEmptyConjunctions) {
+  data::Table t = data::TinyCorrelated(500, 7);
+  Query q1(t.num_cols()), q2(t.num_cols());
+  q1.AddPredicate({0, Op::kLe, 1, {}}, t.column(0).domain());
+  q2.AddPredicate({0, Op::kGe, 5, {}}, t.column(0).domain());  // Disjoint ranges.
+  int calls = 0;
+  auto oracle = [&](const Query& q) {
+    ++calls;
+    int64_t n = 0;
+    for (size_t r = 0; r < t.num_rows(); ++r) n += q.MatchesRow(t, r) ? 1 : 0;
+    return static_cast<double>(n);
+  };
+  double est = EstimateDisjunctionCard({q1, q2}, t, oracle);
+  EXPECT_EQ(calls, 2);  // The empty q1∧q2 conjunction is pruned.
+  int64_t direct = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    direct += (q1.MatchesRow(t, r) || q2.MatchesRow(t, r)) ? 1 : 0;
+  }
+  EXPECT_NEAR(est, static_cast<double>(direct), 1e-9);
+}
+
+TEST(QueryTest, MatchesRowAndToString) {
+  data::Table t = data::TinyCorrelated(50, 1);
+  Query q(t.num_cols());
+  q.AddPredicate({0, Op::kLe, 3, {}}, t.column(0).domain());
+  q.AddPredicate({2, Op::kEq, t.column(2).code_at(0), {}}, t.column(2).domain());
+  EXPECT_EQ(q.NumConstrained(), 2);
+  bool expected = t.column(0).code_at(0) <= 3;
+  EXPECT_EQ(q.MatchesRow(t, 0), expected);
+  EXPECT_NE(q.ToString(t).find("AND"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace uae::workload
