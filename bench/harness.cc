@@ -85,15 +85,18 @@ data::Table BuildDataset(const std::string& name, size_t rows, uint64_t seed) {
   return data::TinyCorrelated(10, 1);
 }
 
-ResultRow EvaluateEstimator(
-    const std::string& name, size_t size_bytes, const workload::Workload& test_in,
-    const workload::Workload& test_random,
-    const std::function<double(const workload::Query&)>& est) {
+ResultRow EvaluateEstimator(const std::string& name,
+                            const estimators::CardinalityEstimator& est,
+                            const workload::Workload& test_in,
+                            const workload::Workload& test_random) {
   ResultRow row;
   row.name = name;
-  row.size_bytes = size_bytes;
-  row.in_workload = util::Summarize(workload::EvaluateQErrors(test_in, est));
-  row.random = util::Summarize(workload::EvaluateQErrors(test_random, est));
+  row.size_bytes = est.SizeBytes();
+  auto batch = [&](std::span<const workload::Query> qs) {
+    return est.EstimateCards(qs);
+  };
+  row.in_workload = util::Summarize(workload::EvaluateQErrorsBatched(test_in, batch));
+  row.random = util::Summarize(workload::EvaluateQErrorsBatched(test_random, batch));
   return row;
 }
 
@@ -131,9 +134,7 @@ std::vector<ResultRow> RunSingleTableComparison(const std::string& dataset,
     util::Stopwatch t;
     estimators::LrEstimator lr(table);
     lr.Train(w.train);
-    auto row = EvaluateEstimator("LR", lr.SizeBytes(), w.test_in_workload,
-                                 w.test_random,
-                                 [&](const workload::Query& q) { return lr.EstimateCard(q); });
+    auto row = EvaluateEstimator("LR", lr, w.test_in_workload, w.test_random);
     row.train_seconds = t.ElapsedSeconds();
     rows.push_back(row);
   }
@@ -143,9 +144,7 @@ std::vector<ResultRow> RunSingleTableComparison(const std::string& dataset,
     mc.seed = config.seed;
     estimators::MscnEstimator mscn(table, mc);
     mscn.Train(w.train);
-    auto row = EvaluateEstimator(
-        "MSCN-base", mscn.SizeBytes(), w.test_in_workload, w.test_random,
-        [&](const workload::Query& q) { return mscn.EstimateCard(q); });
+    auto row = EvaluateEstimator("MSCN-base", mscn, w.test_in_workload, w.test_random);
     row.train_seconds = t.ElapsedSeconds();
     rows.push_back(row);
   }
@@ -157,9 +156,8 @@ std::vector<ResultRow> RunSingleTableComparison(const std::string& dataset,
                 std::max<int>(1, static_cast<int>(config.train_queries) /
                                      config.query_batch);
     uae_q.TrainQuerySteps(w.train, steps);
-    auto row = EvaluateEstimator(
-        "UAE-Q", uae_q.SizeBytes(), w.test_in_workload, w.test_random,
-        [&](const workload::Query& q) { return uae_q.EstimateCard(q); });
+    estimators::UaeAdapter adapter(&uae_q, "UAE-Q");
+    auto row = EvaluateEstimator("UAE-Q", adapter, w.test_in_workload, w.test_random);
     row.train_seconds = t.ElapsedSeconds();
     rows.push_back(row);
     std::printf("[done] UAE-Q (%.0fs)\n", t.ElapsedSeconds());
@@ -178,18 +176,14 @@ std::vector<ResultRow> RunSingleTableComparison(const std::string& dataset,
   {
     util::Stopwatch t;
     estimators::SamplingEstimator sampling(table, sample_frac, config.seed);
-    auto row = EvaluateEstimator(
-        "Sampling", sampling.SizeBytes(), w.test_in_workload, w.test_random,
-        [&](const workload::Query& q) { return sampling.EstimateCard(q); });
+    auto row = EvaluateEstimator("Sampling", sampling, w.test_in_workload, w.test_random);
     row.train_seconds = t.ElapsedSeconds();
     rows.push_back(row);
   }
   {
     util::Stopwatch t;
     estimators::BayesNetEstimator bn(table, 20000, 0.1, config.seed);
-    auto row = EvaluateEstimator(
-        "BayesNet", bn.SizeBytes(), w.test_in_workload, w.test_random,
-        [&](const workload::Query& q) { return bn.EstimateCard(q); });
+    auto row = EvaluateEstimator("BayesNet", bn, w.test_in_workload, w.test_random);
     row.train_seconds = t.ElapsedSeconds();
     rows.push_back(row);
     std::printf("[done] BayesNet (%.0fs)\n", t.ElapsedSeconds());
@@ -199,9 +193,7 @@ std::vector<ResultRow> RunSingleTableComparison(const std::string& dataset,
   {
     util::Stopwatch t;
     estimators::KdeEstimator kde(table, kde_sample, config.seed);
-    auto row = EvaluateEstimator(
-        "KDE", kde.SizeBytes(), w.test_in_workload, w.test_random,
-        [&](const workload::Query& q) { return kde.EstimateCard(q); });
+    auto row = EvaluateEstimator("KDE", kde, w.test_in_workload, w.test_random);
     row.train_seconds = t.ElapsedSeconds();
     rows.push_back(row);
   }
@@ -210,9 +202,7 @@ std::vector<ResultRow> RunSingleTableComparison(const std::string& dataset,
     estimators::SpnConfig sc;
     sc.seed = config.seed;
     estimators::SpnEstimator spn(table, sc);
-    auto row = EvaluateEstimator(
-        "DeepDB", spn.SizeBytes(), w.test_in_workload, w.test_random,
-        [&](const workload::Query& q) { return spn.EstimateCard(q); });
+    auto row = EvaluateEstimator("DeepDB", spn, w.test_in_workload, w.test_random);
     row.train_seconds = t.ElapsedSeconds();
     rows.push_back(row);
     std::printf("[done] DeepDB (%.0fs)\n", t.ElapsedSeconds());
@@ -222,9 +212,8 @@ std::vector<ResultRow> RunSingleTableComparison(const std::string& dataset,
     util::Stopwatch t;
     core::Uae naru(table, uc);
     naru.TrainDataEpochs(config.uae_epochs);
-    auto row = EvaluateEstimator(
-        "Naru", naru.SizeBytes(), w.test_in_workload, w.test_random,
-        [&](const workload::Query& q) { return naru.EstimateCard(q); });
+    estimators::UaeAdapter adapter(&naru, "Naru");
+    auto row = EvaluateEstimator("Naru", adapter, w.test_in_workload, w.test_random);
     row.train_seconds = t.ElapsedSeconds();
     rows.push_back(row);
     std::printf("[done] Naru (%.0fs)\n", t.ElapsedSeconds());
@@ -238,9 +227,7 @@ std::vector<ResultRow> RunSingleTableComparison(const std::string& dataset,
     mc.seed = config.seed;
     estimators::MscnSamplingEstimator ms(table, 1000, mc);
     ms.Train(w.train);
-    auto row = EvaluateEstimator(
-        "MSCN+sampling", ms.SizeBytes(), w.test_in_workload, w.test_random,
-        [&](const workload::Query& q) { return ms.EstimateCard(q); });
+    auto row = EvaluateEstimator("MSCN+sampling", ms, w.test_in_workload, w.test_random);
     row.train_seconds = t.ElapsedSeconds();
     rows.push_back(row);
   }
@@ -248,9 +235,7 @@ std::vector<ResultRow> RunSingleTableComparison(const std::string& dataset,
     util::Stopwatch t;
     estimators::FeedbackKdeEstimator fkde(table, kde_sample, config.seed);
     fkde.TuneBandwidths(w.train, /*epochs=*/4);
-    auto row = EvaluateEstimator(
-        "Feedback-KDE", fkde.SizeBytes(), w.test_in_workload, w.test_random,
-        [&](const workload::Query& q) { return fkde.EstimateCard(q); });
+    auto row = EvaluateEstimator("Feedback-KDE", fkde, w.test_in_workload, w.test_random);
     row.train_seconds = t.ElapsedSeconds();
     rows.push_back(row);
     std::printf("[done] Feedback-KDE (%.0fs)\n", t.ElapsedSeconds());
@@ -260,9 +245,8 @@ std::vector<ResultRow> RunSingleTableComparison(const std::string& dataset,
     util::Stopwatch t;
     core::Uae uae(table, uc);
     uae.TrainHybridEpochs(w.train, config.uae_epochs);
-    auto row = EvaluateEstimator(
-        "UAE", uae.SizeBytes(), w.test_in_workload, w.test_random,
-        [&](const workload::Query& q) { return uae.EstimateCard(q); });
+    estimators::UaeAdapter adapter(&uae, "UAE");
+    auto row = EvaluateEstimator("UAE", adapter, w.test_in_workload, w.test_random);
     row.train_seconds = t.ElapsedSeconds();
     rows.push_back(row);
     std::printf("[done] UAE (%.0fs)\n", t.ElapsedSeconds());

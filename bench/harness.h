@@ -70,11 +70,13 @@ struct ResultRow {
   double train_seconds = 0.0;
 };
 
-/// Evaluates `estimate` on both test workloads.
-ResultRow EvaluateEstimator(const std::string& name, size_t size_bytes,
+/// Evaluates an estimator object on both test workloads through the batched
+/// EstimateCards path so parallel implementations (UaeAdapter) fan work across
+/// the thread pool.
+ResultRow EvaluateEstimator(const std::string& name,
+                            const estimators::CardinalityEstimator& est,
                             const workload::Workload& test_in,
-                            const workload::Workload& test_random,
-                            const std::function<double(const workload::Query&)>& est);
+                            const workload::Workload& test_random);
 
 /// Prints the Table 2/3/4-shaped header + rows.
 void PrintResultTable(const std::string& title, const std::vector<ResultRow>& rows);

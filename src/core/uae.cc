@@ -5,7 +5,9 @@
 
 #include "nn/serialize.h"
 #include "util/logging.h"
+#include "util/mathutil.h"
 #include "util/stopwatch.h"
+#include "util/threadpool.h"
 
 namespace uae::core {
 
@@ -284,25 +286,85 @@ void Uae::IngestWorkload(const workload::Workload& workload, int epochs) {
   TrainQuerySteps(workload, epochs * steps_per_epoch);
 }
 
+util::Rng Uae::EstimationRng(uint64_t fingerprint) const {
+  return util::Rng(util::SplitMix64(config_.seed ^ util::SplitMix64(fingerprint)));
+}
+
+namespace {
+
+/// Mixes the join predicate fingerprint with the joined-table set.
+uint64_t JoinFingerprint(const workload::JoinQuery& query) {
+  return util::SplitMix64(query.pred.Fingerprint() ^
+                          (static_cast<uint64_t>(query.table_mask) << 32));
+}
+
+}  // namespace
+
 double Uae::EstimateSelectivity(const workload::Query& query) const {
   QueryTargets targets = BuildTargets(query, *table_, schema_);
-  return ProgressiveSample(*model_, targets, config_.ps_samples, &rng_);
+  util::Rng rng = EstimationRng(query.Fingerprint());
+  return ProgressiveSample(*model_, targets, config_.ps_samples, &rng);
 }
 
 double Uae::EstimateCard(const workload::Query& query) const {
   return EstimateSelectivity(query) * static_cast<double>(num_rows_);
 }
 
+namespace {
+
+/// Runs `estimate_one(i)` for i in [0, n), fanning across the pool. Batches
+/// smaller than the pool fan out over queries poorly while the in-worker
+/// inline rule suppresses nested GEMM parallelism, so those run sequentially
+/// (with parallel GEMMs) instead. Results are index-deterministic either way.
+void ForEachQuery(size_t n, const std::function<void(size_t)>& estimate_one) {
+  auto chunk = [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) estimate_one(i);
+  };
+  if (n < util::GlobalPool().num_threads()) {
+    chunk(0, n);
+  } else {
+    util::ParallelFor(0, n, chunk, /*min_parallel_size=*/1);
+  }
+}
+
+}  // namespace
+
+std::vector<double> Uae::EstimateSelectivities(
+    std::span<const workload::Query> queries) const {
+  std::vector<double> sels(queries.size(), 0.0);
+  ForEachQuery(queries.size(),
+               [&](size_t i) { sels[i] = EstimateSelectivity(queries[i]); });
+  return sels;
+}
+
+std::vector<double> Uae::EstimateCards(
+    std::span<const workload::Query> queries) const {
+  std::vector<double> cards = EstimateSelectivities(queries);
+  for (double& c : cards) c *= static_cast<double>(num_rows_);
+  return cards;
+}
+
 PsEstimate Uae::EstimateWithError(const workload::Query& query) const {
   QueryTargets targets = BuildTargets(query, *table_, schema_);
-  return ProgressiveSampleWithError(*model_, targets, config_.ps_samples, &rng_);
+  util::Rng rng = EstimationRng(query.Fingerprint());
+  return ProgressiveSampleWithError(*model_, targets, config_.ps_samples, &rng);
 }
 
 double Uae::EstimateJoinCard(const workload::JoinQuery& query) const {
   UAE_CHECK(universe_ != nullptr);
   QueryTargets targets = BuildJoinTargets(query, *universe_, schema_);
-  double sel = ProgressiveSample(*model_, targets, config_.ps_samples, &rng_);
+  util::Rng rng = EstimationRng(JoinFingerprint(query));
+  double sel = ProgressiveSample(*model_, targets, config_.ps_samples, &rng);
   return sel * static_cast<double>(universe_->full_join_rows);
+}
+
+std::vector<double> Uae::EstimateJoinCards(
+    std::span<const workload::JoinQuery> queries) const {
+  UAE_CHECK(universe_ != nullptr);
+  std::vector<double> cards(queries.size(), 0.0);
+  ForEachQuery(queries.size(),
+               [&](size_t i) { cards[i] = EstimateJoinCard(queries[i]); });
+  return cards;
 }
 
 std::vector<std::vector<int32_t>> Uae::Sample(int count) const {

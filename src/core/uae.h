@@ -13,6 +13,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "core/dps.h"
@@ -97,9 +98,20 @@ class Uae {
   void IngestWorkload(const workload::Workload& workload, int epochs);
 
   // ---- Estimation -----------------------------------------------------------
+  // Estimates draw progressive samples from an RNG seeded per query from
+  // (config.seed, query fingerprint), so every estimate is a pure function of
+  // the model and the query: independent of call order, batch composition,
+  // and thread count. Batched variants fan queries across the global pool.
   double EstimateSelectivity(const workload::Query& query) const;
   double EstimateCard(const workload::Query& query) const;
   double EstimateJoinCard(const workload::JoinQuery& query) const;
+  /// Batched parallel estimation; element i corresponds to queries[i] and is
+  /// bit-identical to EstimateCard(queries[i]).
+  std::vector<double> EstimateCards(std::span<const workload::Query> queries) const;
+  std::vector<double> EstimateSelectivities(
+      std::span<const workload::Query> queries) const;
+  std::vector<double> EstimateJoinCards(
+      std::span<const workload::JoinQuery> queries) const;
   /// Estimate plus the progressive-sampling Monte-Carlo standard error.
   PsEstimate EstimateWithError(const workload::Query& query) const;
 
@@ -116,6 +128,8 @@ class Uae {
 
  private:
   void Init(const data::Table& table, const UaeConfig& config);
+  /// Independent estimation RNG for one query (seed x fingerprint mix).
+  util::Rng EstimationRng(uint64_t fingerprint) const;
   /// One optimizer step for the given loss graph.
   double StepLoss(const nn::Tensor& loss);
   nn::Tensor BuildDataLoss(const std::vector<size_t>& rows);

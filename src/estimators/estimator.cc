@@ -1,0 +1,13 @@
+#include "estimators/estimator.h"
+
+namespace uae::estimators {
+
+std::vector<double> CardinalityEstimator::EstimateCards(
+    std::span<const workload::Query> queries) const {
+  std::vector<double> cards;
+  cards.reserve(queries.size());
+  for (const workload::Query& q : queries) cards.push_back(EstimateCard(q));
+  return cards;
+}
+
+}  // namespace uae::estimators

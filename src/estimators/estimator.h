@@ -3,7 +3,9 @@
 // on: data, queries, or both); estimation is uniform.
 #pragma once
 
+#include <span>
 #include <string>
+#include <vector>
 
 #include "workload/query.h"
 
@@ -16,6 +18,12 @@ class CardinalityEstimator {
   virtual std::string name() const = 0;
   /// Estimated cardinality (row count) of a single-table query.
   virtual double EstimateCard(const workload::Query& query) const = 0;
+  /// Batched estimation: one result per query, in order. The default loops
+  /// EstimateCard; estimators with a parallel hot path (UaeAdapter) override
+  /// this to fan the work out. Results must be identical to the sequential
+  /// per-query path regardless of batch composition or thread count.
+  virtual std::vector<double> EstimateCards(
+      std::span<const workload::Query> queries) const;
   /// Model budget in bytes (the "Size" column of the paper's tables).
   virtual size_t SizeBytes() const = 0;
 };

@@ -18,6 +18,10 @@ class UaeAdapter : public CardinalityEstimator {
 
   std::string name() const override { return name_; }
   double EstimateCard(const workload::Query& query) const override;
+  /// Fans progressive sampling across the global thread pool; results are
+  /// bit-identical to the sequential path (per-query derived RNG seeds).
+  std::vector<double> EstimateCards(
+      std::span<const workload::Query> queries) const override;
   size_t SizeBytes() const override { return uae_->SizeBytes(); }
 
  private:

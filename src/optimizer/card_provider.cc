@@ -28,6 +28,22 @@ double UaeCardProvider::Card(const workload::JoinQuery& query, uint32_t submask)
   return card;
 }
 
+void UaeCardProvider::Prewarm(const workload::JoinQuery& query,
+                              std::span<const uint32_t> submasks) {
+  std::vector<uint32_t> missing;
+  std::vector<workload::JoinQuery> restricted;
+  for (uint32_t s : submasks) {
+    if (cache_.count(CacheKey(query, s)) != 0) continue;
+    missing.push_back(s);
+    restricted.push_back(RestrictToSubset(uni_, query, s));
+  }
+  if (restricted.empty()) return;
+  std::vector<double> cards = uae_->EstimateJoinCards(restricted);
+  for (size_t i = 0; i < missing.size(); ++i) {
+    cache_.emplace(CacheKey(query, missing[i]), cards[i]);
+  }
+}
+
 AviCardProvider::AviCardProvider(const data::JoinUniverse& uni) : uni_(uni) {
   hists_.reserve(uni.base_tables.size());
   for (const auto& t : uni.base_tables) {

@@ -3,6 +3,8 @@
 // (external estimates injected into the planner).
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <unordered_map>
 
 #include "core/uae.h"
@@ -21,6 +23,12 @@ class JoinCardProvider {
   virtual std::string name() const = 0;
   /// Cardinality estimate for RestrictToSubset(query, submask).
   virtual double Card(const workload::JoinQuery& query, uint32_t submask) = 0;
+  /// Estimates the given sub-plans — the exact set the caller's enumeration
+  /// will ask Card() for — in one batch (providers with a parallel batched
+  /// path override this to fill their memo up front). Default: no-op; Card()
+  /// computes on demand.
+  virtual void Prewarm(const workload::JoinQuery& query,
+                       std::span<const uint32_t> submasks) {}
 };
 
 /// Exact cardinalities by weighted scans of the universe ("TrueCard").
@@ -43,6 +51,10 @@ class UaeCardProvider : public JoinCardProvider {
       : uni_(uni), uae_(uae), name_(std::move(display_name)) {}
   std::string name() const override { return name_; }
   double Card(const workload::JoinQuery& query, uint32_t submask) override;
+  /// Batch-estimates the submasks via Uae::EstimateJoinCards (one parallel
+  /// fan-out) and fills the cache the DP loop will hit.
+  void Prewarm(const workload::JoinQuery& query,
+               std::span<const uint32_t> submasks) override;
 
  private:
   const data::JoinUniverse& uni_;

@@ -22,6 +22,15 @@ PlanResult OptimizeJoinOrder(const data::JoinUniverse& uni,
   const int n = uni.NumTables();
   UAE_CHECK(full & 1u) << "join queries must include the fact table";
 
+  // Enumerate the sub-plans the DP below will cost, and let batched providers
+  // estimate all of them in one parallel pass.
+  std::vector<uint32_t> submasks;
+  for (uint32_t s = 1; s <= full; ++s) {
+    if ((s & full) != s || __builtin_popcount(s) < 2 || !Connected(s)) continue;
+    submasks.push_back(s);
+  }
+  cards->Prewarm(query, submasks);
+
   std::vector<double> best_cost(1u << n, std::numeric_limits<double>::infinity());
   std::vector<int> best_last(1u << n, -1);
 
@@ -31,9 +40,8 @@ PlanResult OptimizeJoinOrder(const data::JoinUniverse& uni,
     if ((s & full) != s) continue;
     best_cost[s] = 0.0;  // C_out counts only intermediate (join) results.
   }
-  // Enumerate subsets of `full` by increasing size.
-  for (uint32_t s = 1; s <= full; ++s) {
-    if ((s & full) != s || __builtin_popcount(s) < 2 || !Connected(s)) continue;
+  // Cost every enumerated sub-plan (submasks is already in increasing order).
+  for (uint32_t s : submasks) {
     double card_s = std::max(1.0, cards->Card(query, s));
     for (int t = 0; t < n; ++t) {
       uint32_t bit = 1u << t;

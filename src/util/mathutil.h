@@ -8,6 +8,16 @@
 
 namespace uae::util {
 
+/// SplitMix64 finalizer: mixes a 64-bit value into a well-distributed hash.
+/// Used to derive independent per-query RNG seeds from (model seed, query
+/// fingerprint) so estimates are order- and thread-count-independent.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 /// log(sum_i exp(x_i)) computed stably. Returns -inf for empty input.
 double LogSumExp(const std::vector<double>& xs);
 float LogSumExpF(const float* xs, size_t n);

@@ -4,6 +4,12 @@
 
 namespace uae::util {
 
+namespace {
+thread_local bool t_in_pool_worker = false;
+}  // namespace
+
+bool ThreadPool::InWorkerThread() { return t_in_pool_worker; }
+
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
@@ -38,6 +44,7 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -68,7 +75,7 @@ void ParallelFor(size_t begin, size_t end,
   ThreadPool& pool = GlobalPool();
   size_t n = end - begin;
   size_t workers = pool.num_threads();
-  if (workers <= 1 || n < min_parallel_size) {
+  if (workers <= 1 || n < min_parallel_size || ThreadPool::InWorkerThread()) {
     body(begin, end);
     return;
   }

@@ -29,6 +29,11 @@ class ThreadPool {
   /// Blocks until all submitted work has finished.
   void Wait();
 
+  /// True when the calling thread is one of this process's pool workers.
+  /// Nested ParallelFor calls from workers run inline: blocking a worker on
+  /// sub-chunks it cannot steal back would deadlock the pool.
+  static bool InWorkerThread();
+
  private:
   void WorkerLoop();
 

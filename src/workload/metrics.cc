@@ -23,6 +23,21 @@ std::vector<double> EvaluateQErrors(
   return errors;
 }
 
+std::vector<double> EvaluateQErrorsBatched(const Workload& workload,
+                                           const BatchEstimateFn& estimate_batch) {
+  std::vector<Query> queries;
+  queries.reserve(workload.size());
+  for (const auto& lq : workload) queries.push_back(lq.query);
+  std::vector<double> cards = estimate_batch(queries);
+  UAE_CHECK_EQ(cards.size(), workload.size());
+  std::vector<double> errors;
+  errors.reserve(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    errors.push_back(QError(cards[i], workload[i].card));
+  }
+  return errors;
+}
+
 std::string FormatResultRow(const std::string& name, size_t size_bytes,
                             const util::ErrorSummary& in_workload,
                             const util::ErrorSummary& random) {

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,14 @@ double QError(double est_card, double true_card);
 /// labeled workload and returns per-query q-errors.
 std::vector<double> EvaluateQErrors(
     const Workload& workload, const std::function<double(const Query&)>& estimate);
+
+/// Batched variant: hands the whole query list to `estimate_batch` at once so
+/// batch-parallel estimators (estimators::CardinalityEstimator::EstimateCards)
+/// go through their fan-out hot path. Q-errors are returned in workload order.
+using BatchEstimateFn =
+    std::function<std::vector<double>(std::span<const Query>)>;
+std::vector<double> EvaluateQErrorsBatched(const Workload& workload,
+                                           const BatchEstimateFn& estimate_batch);
 
 /// Pretty-prints one table row: "<name>  <size>  mean median p95 max".
 std::string FormatResultRow(const std::string& name, size_t size_bytes,

@@ -1,0 +1,127 @@
+// Deterministic-seed regressions: the same util::Rng seed must produce
+// bit-identical ProgressiveSample and SampleTuples results across repeated
+// runs, and batched parallel estimation must not depend on the thread count
+// or on how the pool schedules chunks.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/progressive.h"
+#include "core/uae.h"
+#include "data/synthetic.h"
+#include "util/threadpool.h"
+#include "workload/generator.h"
+
+namespace uae::core {
+namespace {
+
+UaeConfig SmallConfig() {
+  UaeConfig cfg;
+  cfg.hidden = 32;
+  cfg.ps_samples = 96;
+  cfg.seed = 23;
+  return cfg;
+}
+
+struct Fixture {
+  data::Table table;
+  Uae uae;
+  std::vector<workload::Query> queries;
+
+  Fixture() : table(data::TinyCorrelated(1200, 3)), uae(table, SmallConfig()) {
+    uae.TrainDataEpochs(2);
+    workload::GeneratorConfig gc;
+    gc.min_filters = 1;
+    gc.max_filters = 3;
+    workload::QueryGenerator gen(table, gc, 31);
+    for (const auto& lq : gen.GenerateLabeled(20, nullptr)) {
+      queries.push_back(lq.query);
+    }
+  }
+};
+
+Fixture& Shared() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+TEST(DeterminismTest, ProgressiveSampleBitIdenticalAcrossRuns) {
+  Fixture& f = Shared();
+  for (const auto& q : f.queries) {
+    QueryTargets targets = BuildTargets(q, f.table, f.uae.schema());
+    util::Rng rng_a(91);
+    util::Rng rng_b(91);
+    double a = ProgressiveSample(f.uae.model(), targets, 64, &rng_a);
+    double b = ProgressiveSample(f.uae.model(), targets, 64, &rng_b);
+    EXPECT_DOUBLE_EQ(a, b);
+  }
+}
+
+TEST(DeterminismTest, ProgressiveSampleWithErrorBitIdenticalAcrossRuns) {
+  Fixture& f = Shared();
+  QueryTargets targets = BuildTargets(f.queries[0], f.table, f.uae.schema());
+  util::Rng rng_a(5);
+  util::Rng rng_b(5);
+  PsEstimate a = ProgressiveSampleWithError(f.uae.model(), targets, 64, &rng_a);
+  PsEstimate b = ProgressiveSampleWithError(f.uae.model(), targets, 64, &rng_b);
+  EXPECT_DOUBLE_EQ(a.selectivity, b.selectivity);
+  EXPECT_DOUBLE_EQ(a.std_error, b.std_error);
+  EXPECT_EQ(a.samples, b.samples);
+}
+
+TEST(DeterminismTest, SampleTuplesBitIdenticalAcrossRuns) {
+  Fixture& f = Shared();
+  util::Rng rng_a(77);
+  util::Rng rng_b(77);
+  auto a = SampleTuples(f.uae.model(), 50, &rng_a);
+  auto b = SampleTuples(f.uae.model(), 50, &rng_b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DeterminismTest, DifferentSeedsDiverge) {
+  Fixture& f = Shared();
+  util::Rng rng_a(1);
+  util::Rng rng_b(2);
+  auto a = SampleTuples(f.uae.model(), 50, &rng_a);
+  auto b = SampleTuples(f.uae.model(), 50, &rng_b);
+  EXPECT_NE(a, b);
+}
+
+TEST(DeterminismTest, BatchedEstimatesIndependentOfThreadCount) {
+  Fixture& f = Shared();
+  // Sequential reference.
+  std::vector<double> sequential;
+  for (const auto& q : f.queries) sequential.push_back(f.uae.EstimateCard(q));
+  // The batched path fans across the global pool (whatever its size); it must
+  // reproduce the sequential estimates bit for bit, run after run.
+  for (int rep = 0; rep < 3; ++rep) {
+    std::vector<double> batched = f.uae.EstimateCards(f.queries);
+    ASSERT_EQ(batched.size(), sequential.size());
+    for (size_t i = 0; i < batched.size(); ++i) {
+      EXPECT_DOUBLE_EQ(batched[i], sequential[i]) << "query " << i;
+    }
+  }
+}
+
+TEST(DeterminismTest, ParallelForFromWorkerRunsInline) {
+  // Nested ParallelFor (e.g. the GEMM kernels inside a batched estimation
+  // worker) must not deadlock the pool; the inner call runs inline.
+  std::vector<int> out(64, 0);
+  util::ParallelFor(
+      0, 8,
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          util::ParallelFor(
+              0, 8,
+              [&](size_t jlo, size_t jhi) {
+                for (size_t j = jlo; j < jhi; ++j) out[i * 8 + j] = 1;
+              },
+              /*min_parallel_size=*/1);
+        }
+      },
+      /*min_parallel_size=*/1);
+  for (int v : out) EXPECT_EQ(v, 1);
+}
+
+}  // namespace
+}  // namespace uae::core
