@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for bench_micro_nn output.
+
+Compares a freshly produced BENCH_kernels.json against a committed baseline
+and exits non-zero when any benchmark regressed by more than --max-regress
+(default 25%).
+
+Two metrics are supported:
+
+  raw    -- throughput (GFLOP/s when present, else 1/ns_per_op). Only
+            meaningful when baseline and current ran on the same machine.
+  ratio  -- speedup_vs_ref: the production kernel's throughput divided by the
+            retained reference kernel's, measured in the same process. This
+            is normalized by the machine, so it transfers across hosts and is
+            what CI gates on.
+
+Optionally --require-speedup NAME:MIN asserts an absolute speedup floor for
+one benchmark (repeatable), e.g. the acceptance bar
+  --require-speedup gemm_accum/256x256x256:2.0
+
+Usage:
+  compare_bench.py BASELINE.json CURRENT.json [--metric=ratio|raw]
+                   [--max-regress=0.25] [--require-speedup NAME:MIN]...
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema_version") != 1:
+        sys.exit(f"{path}: unsupported schema_version {doc.get('schema_version')}")
+    return {b["name"]: b for b in doc["benchmarks"]}
+
+
+def metric_value(bench, metric):
+    """Returns the gated value for one benchmark, or None when not gateable."""
+    if metric == "ratio":
+        return bench.get("speedup_vs_ref")
+    if bench.get("gflops"):
+        return bench["gflops"]
+    ns = bench.get("ns_per_op")
+    return 1e9 / ns if ns else None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--metric", choices=["ratio", "raw"], default="ratio")
+    ap.add_argument("--max-regress", type=float, default=0.25,
+                    help="maximum tolerated fractional drop (default 0.25)")
+    ap.add_argument("--require-speedup", action="append", default=[],
+                    metavar="NAME:MIN",
+                    help="absolute speedup_vs_ref floor for one benchmark")
+    args = ap.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    failures = []
+    compared = 0
+    unit = "x vs ref" if args.metric == "ratio" else ""
+    print(f"{'benchmark':<40} {'baseline':>10} {'current':>10}  delta")
+    for name, base in sorted(baseline.items()):
+        base_v = metric_value(base, args.metric)
+        if base_v is None:
+            continue  # e.g. end-to-end entries under --metric=ratio
+        cur = current.get(name)
+        if cur is None:
+            failures.append(f"{name}: present in baseline but missing from current run")
+            continue
+        cur_v = metric_value(cur, args.metric)
+        if cur_v is None:
+            failures.append(f"{name}: no {args.metric} metric in current run")
+            continue
+        compared += 1
+        delta = (cur_v - base_v) / base_v
+        flag = ""
+        if cur_v < base_v * (1.0 - args.max_regress):
+            flag = "  << REGRESSION"
+            failures.append(
+                f"{name}: {args.metric} fell {-delta:.1%} "
+                f"({base_v:.2f}{unit} -> {cur_v:.2f}{unit}), "
+                f"tolerance {args.max_regress:.0%}")
+        print(f"{name:<40} {base_v:>10.2f} {cur_v:>10.2f}  {delta:+7.1%}{flag}")
+
+    for req in args.require_speedup:
+        name, _, floor = req.rpartition(":")
+        try:
+            floor = float(floor)
+        except ValueError:
+            name = ""
+        if not name:
+            sys.exit(f"bad --require-speedup '{req}', expected NAME:MIN")
+        cur = current.get(name)
+        speedup = cur.get("speedup_vs_ref") if cur else None
+        if speedup is None:
+            failures.append(f"{name}: required speedup {floor}x but benchmark "
+                            "missing from current run")
+        elif speedup < floor:
+            failures.append(f"{name}: speedup_vs_ref {speedup:.2f}x below "
+                            f"required floor {floor}x")
+        else:
+            print(f"{name}: speedup_vs_ref {speedup:.2f}x >= {floor}x  OK")
+
+    if compared == 0 and not args.require_speedup:
+        failures.append("no comparable benchmarks between baseline and current")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} perf gate violation(s)", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {compared} benchmarks within {args.max_regress:.0%} of baseline "
+          f"({args.metric} metric)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

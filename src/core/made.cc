@@ -1,5 +1,6 @@
 #include "core/made.h"
 
+#include "nn/kernels.h"
 #include "nn/masks.h"
 #include "nn/serialize.h"
 
@@ -71,6 +72,15 @@ nn::Tensor MadeModel::Trunk(const std::vector<nn::Tensor>& per_vcol_inputs) cons
 
 nn::Tensor MadeModel::HeadLogits(int vc, const nn::Tensor& trunk_out) const {
   return heads_[static_cast<size_t>(vc)].Forward(trunk_out);
+}
+
+nn::Tensor MadeModel::HeadProbs(int vc, const nn::Tensor& trunk_out) const {
+  UAE_CHECK(!nn::GradModeEnabled())
+      << "HeadProbs mutates the logits in place; training paths must use "
+         "HeadLogits + SoftmaxRowsOp";
+  nn::Tensor logits = HeadLogits(vc, trunk_out);
+  nn::SoftmaxRowsInplace(&logits->mutable_value());
+  return logits;
 }
 
 nn::Tensor MadeModel::DataLoss(

@@ -49,6 +49,10 @@ class MadeModel {
   nn::Tensor Trunk(const std::vector<nn::Tensor>& per_vcol_inputs) const;
   /// Logits of the head for virtual column vc: [batch, vdomain(vc)].
   nn::Tensor HeadLogits(int vc, const nn::Tensor& trunk_out) const;
+  /// Head probabilities, inference only: softmax applied in place over the
+  /// head logits so the progressive-sampling hot path does one fewer pass
+  /// (and one fewer allocation) per sampled column. Requires NoGradGuard.
+  nn::Tensor HeadProbs(int vc, const nn::Tensor& trunk_out) const;
 
   /// Unsupervised loss L_data (Eq. 2): sum over columns of the mean
   /// cross-entropy, with `input_codes` possibly wildcarded (§4.6 wildcard

@@ -114,10 +114,9 @@ std::vector<double> RunProgressiveSamples(const MadeModel& model,
     if (target.IsWildcard()) continue;  // Wildcard skipping (§4.6).
 
     nn::Tensor h = model.Trunk(inputs);
-    nn::Tensor logits = model.HeadLogits(vc, h);
+    nn::Tensor probs_t = model.HeadProbs(vc, h);  // softmax in place, no copy
+    const nn::Mat& probs = probs_t->value();
     const int32_t dom = v.domain;
-    nn::Mat probs(s, dom);
-    nn::SoftmaxRows(logits->value(), &probs);
 
     std::vector<int32_t> sampled(static_cast<size_t>(s), 0);
     w.resize(static_cast<size_t>(dom));
@@ -165,9 +164,8 @@ std::vector<std::vector<int32_t>> SampleTuples(const MadeModel& model, int count
       static_cast<size_t>(n_vc), std::vector<int32_t>(static_cast<size_t>(count)));
   for (int vc = 0; vc < n_vc; ++vc) {
     nn::Tensor h = model.Trunk(inputs);
-    nn::Tensor logits = model.HeadLogits(vc, h);
-    nn::Mat probs(count, model.vdomain(vc));
-    nn::SoftmaxRows(logits->value(), &probs);
+    nn::Tensor probs_t = model.HeadProbs(vc, h);
+    const nn::Mat& probs = probs_t->value();
     std::vector<int32_t> sampled(static_cast<size_t>(count));
     for (int r = 0; r < count; ++r) {
       sampled[static_cast<size_t>(r)] = static_cast<int32_t>(rng->CategoricalF(

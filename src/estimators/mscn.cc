@@ -78,7 +78,7 @@ nn::Tensor MscnEstimator::Forward(
                 sizeof(float) * batch[static_cast<size_t>(i)]->preds.size());
   }
   nn::Tensor x = nn::Constant(std::move(all_preds));
-  nn::Tensor h = nn::Relu(pred_fc2_.Forward(nn::Relu(pred_fc1_.Forward(x))));
+  nn::Tensor h = pred_fc2_.ForwardRelu(pred_fc1_.ForwardRelu(x));
   // Average pooling over the *actual* predicates: SegmentMean over padded
   // slots sums/max_preds; rescale by max_preds/num_preds per query.
   nn::Tensor pooled_rows;
@@ -108,7 +108,7 @@ nn::Tensor MscnEstimator::Forward(
     }
     features = nn::ConcatCols({pooled_rows, nn::Constant(std::move(extra_mat))});
   }
-  return out_fc2_.Forward(nn::Relu(out_fc1_.Forward(features)));
+  return out_fc2_.Forward(out_fc1_.ForwardRelu(features));
 }
 
 void MscnEstimator::Train(const workload::Workload& workload,

@@ -12,6 +12,10 @@ Tensor Linear::Forward(const Tensor& x) const {
   return AddBias(MatMul(x, w_), b_);
 }
 
+Tensor Linear::ForwardRelu(const Tensor& x) const {
+  return AddBiasRelu(MatMul(x, w_), b_);
+}
+
 void Linear::CollectParams(std::vector<NamedParam>* out) const {
   out->push_back({name_ + ".w", w_});
   out->push_back({name_ + ".b", b_});
@@ -27,6 +31,10 @@ Tensor MaskedLinear::Forward(const Tensor& x) const {
   return AddBias(MaskedMatMul(x, w_, mask_), b_);
 }
 
+Tensor MaskedLinear::ForwardRelu(const Tensor& x) const {
+  return AddBiasRelu(MaskedMatMul(x, w_, mask_), b_);
+}
+
 void MaskedLinear::CollectParams(std::vector<NamedParam>* out) const {
   out->push_back({name_ + ".w", w_});
   out->push_back({name_ + ".b", b_});
@@ -40,8 +48,9 @@ MadeResidualBlock::MadeResidualBlock(const std::vector<int>& degrees,
 }
 
 Tensor MadeResidualBlock::Forward(const Tensor& h) const {
-  Tensor t = fc1_.Forward(Relu(h));
-  t = fc2_.Forward(Relu(t));
+  // The entry relu stays separate (h also feeds the residual add); the relu
+  // after fc1 is fused into its bias epilogue.
+  Tensor t = fc2_.Forward(fc1_.ForwardRelu(Relu(h)));
   return Add(h, t);
 }
 

@@ -25,6 +25,8 @@ class Linear {
   Linear(int in, int out, const std::string& name, util::Rng* rng);
 
   Tensor Forward(const Tensor& x) const;
+  /// relu(x W + b) with the bias add and relu fused into one kernel pass.
+  Tensor ForwardRelu(const Tensor& x) const;
   void CollectParams(std::vector<NamedParam>* out) const;
   int in_features() const { return w_ ? w_->rows() : 0; }
   int out_features() const { return w_ ? w_->cols() : 0; }
@@ -42,6 +44,8 @@ class MaskedLinear {
   MaskedLinear(Mat mask, const std::string& name, util::Rng* rng);
 
   Tensor Forward(const Tensor& x) const;
+  /// relu(x (W ⊙ M) + b) with the bias add and relu fused.
+  Tensor ForwardRelu(const Tensor& x) const;
   void CollectParams(std::vector<NamedParam>* out) const;
   const Mat& mask() const { return mask_; }
 

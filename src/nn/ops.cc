@@ -93,6 +93,36 @@ Tensor AddBias(const Tensor& x, const Tensor& bias) {
                   "add_bias");
 }
 
+Tensor AddBiasRelu(const Tensor& x, const Tensor& bias) {
+  Mat out(x->rows(), x->cols());
+  AddBiasReluRows(x->value(), bias->value(), &out);
+  return MakeNode(std::move(out), {x, bias},
+                  [x, bias](Node& n) {
+                    // relu gate read off the fused output: y > 0 iff the
+                    // pre-activation was positive.
+                    const Mat& y = n.value();
+                    if (x->requires_grad()) {
+                      float* d = x->grad().data();
+                      const float* g = n.grad().data();
+                      const float* yv = y.data();
+                      for (size_t i = 0; i < n.grad().size(); ++i) {
+                        if (yv[i] > 0.f) d[i] += g[i];
+                      }
+                    }
+                    if (bias->requires_grad()) {
+                      float* db = bias->grad().row(0);
+                      for (int r = 0; r < n.grad().rows(); ++r) {
+                        const float* g = n.grad().row(r);
+                        const float* yr = y.row(r);
+                        for (int c = 0; c < n.grad().cols(); ++c) {
+                          if (yr[c] > 0.f) db[c] += g[c];
+                        }
+                      }
+                    }
+                  },
+                  "add_bias_relu");
+}
+
 Tensor Scale(const Tensor& a, float s) {
   Mat out = a->value();
   float* d = out.data();

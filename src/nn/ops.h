@@ -18,6 +18,8 @@ Tensor Sub(const Tensor& a, const Tensor& b);
 Tensor Mul(const Tensor& a, const Tensor& b);
 /// x [m,n] + bias [1,n], broadcast over rows.
 Tensor AddBias(const Tensor& x, const Tensor& bias);
+/// Fused relu(x + bias): one kernel pass instead of AddBias followed by Relu.
+Tensor AddBiasRelu(const Tensor& x, const Tensor& bias);
 Tensor Scale(const Tensor& a, float s);
 /// a + c where c is a non-differentiable constant (Gumbel noise, -inf masks).
 Tensor AddConstMat(const Tensor& a, const Mat& c);

@@ -70,6 +70,30 @@ TEST(AutogradTest, BiasRelu) {
   });
 }
 
+TEST(AutogradTest, FusedAddBiasRelu) {
+  CheckGradients(MakeParams({{4, 3}, {1, 3}}), [](const std::vector<Tensor>& p) {
+    return MeanAll(AddBiasRelu(p[0], p[1]));
+  });
+}
+
+TEST(AutogradTest, FusedAddBiasReluMatchesUnfusedForwardAndGrad) {
+  auto params = MakeParams({{5, 4}, {1, 4}, {5, 4}}, 11);
+  auto fused = MakeParams({{5, 4}, {1, 4}, {5, 4}}, 11);
+  Tensor a = MeanAll(Mul(Relu(AddBias(params[0], params[1])), params[2]));
+  Tensor b = MeanAll(Mul(AddBiasRelu(fused[0], fused[1]), fused[2]));
+  ASSERT_FLOAT_EQ(a->value().at(0, 0), b->value().at(0, 0));
+  Backward(a);
+  Backward(b);
+  for (size_t i = 0; i < params.size(); ++i) {
+    for (int r = 0; r < params[i]->rows(); ++r) {
+      for (int c = 0; c < params[i]->cols(); ++c) {
+        EXPECT_FLOAT_EQ(params[i]->grad().at(r, c), fused[i]->grad().at(r, c))
+            << "param " << i << " (" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
 TEST(AutogradTest, SoftmaxRows) {
   // Weighted sum of softmax outputs exercises the full Jacobian.
   Mat w(3, 5);
