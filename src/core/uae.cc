@@ -27,37 +27,84 @@ void Uae::Init(const data::Table& table, const UaeConfig& config) {
   config_ = config;
   schema_ = data::VirtualSchema::Build(table, config.factor_threshold,
                                        config.factor_bits);
-  MadeConfig mc;
-  mc.hidden = config.hidden;
-  mc.blocks = config.blocks;
-  mc.encoder = config.encoder;
-  mc.embed_dim = config.embed_dim;
-  mc.seed = config.seed;
-  model_ = std::make_unique<MadeModel>(&schema_, mc);
-  optimizer_ = std::make_unique<nn::Adam>(model_->Parameters(), config.lr);
+  model_ = std::make_unique<MadeModel>(&schema_, MakeMadeConfig());
 
   // Columnar virtual-code store.
   num_rows_ = table.num_rows();
-  vcodes_.assign(static_cast<size_t>(schema_.num_virtual()),
-                 std::vector<int32_t>());
-  for (auto& v : vcodes_) v.reserve(num_rows_);
+  auto vcodes = std::make_shared<std::vector<std::vector<int32_t>>>(
+      static_cast<size_t>(schema_.num_virtual()));
+  for (auto& v : *vcodes) v.reserve(num_rows_);
   std::vector<int32_t> orig(static_cast<size_t>(table.num_cols()));
   std::vector<int32_t> virt;
   for (size_t r = 0; r < num_rows_; ++r) {
     for (int c = 0; c < table.num_cols(); ++c) orig[static_cast<size_t>(c)] = table.column(c).code_at(r);
     schema_.EncodeRow(orig, &virt);
     for (int vc = 0; vc < schema_.num_virtual(); ++vc) {
-      vcodes_[static_cast<size_t>(vc)].push_back(virt[static_cast<size_t>(vc)]);
+      (*vcodes)[static_cast<size_t>(vc)].push_back(virt[static_cast<size_t>(vc)]);
     }
   }
+  vcodes_ = std::move(vcodes);
+}
+
+MadeConfig Uae::MakeMadeConfig() const {
+  MadeConfig mc;
+  mc.hidden = config_.hidden;
+  mc.blocks = config_.blocks;
+  mc.encoder = config_.encoder;
+  mc.embed_dim = config_.embed_dim;
+  mc.seed = config_.seed;
+  return mc;
+}
+
+Uae::Uae(const Uae& other)
+    : table_(other.table_),
+      universe_(other.universe_),
+      config_(other.config_),
+      schema_(other.schema_),
+      vcodes_(other.vcodes_),  // Shared until either side mutates.
+      num_rows_(other.num_rows_),
+      rng_(other.rng_) {
+  model_ = std::make_unique<MadeModel>(&schema_, MakeMadeConfig());
+  util::Status st = CopyParamsFrom(other);
+  UAE_CHECK(st.ok()) << st.ToString();
+}
+
+std::unique_ptr<Uae> Uae::Clone() const {
+  return std::unique_ptr<Uae>(new Uae(*this));
+}
+
+util::Status Uae::CopyParamsFrom(const Uae& other) {
+  auto params = model_->Parameters();
+  return nn::CopyParams(other.model_->Parameters(), &params);
+}
+
+nn::Adam& Uae::Optimizer() {
+  if (!optimizer_) {
+    optimizer_ = std::make_unique<nn::Adam>(model_->Parameters(), config_.lr);
+  }
+  return *optimizer_;
+}
+
+std::vector<std::vector<int32_t>>& Uae::MutableVcodes() {
+  // Copy-on-write: snapshots produced by Clone() share the code store, so
+  // detach before the first mutation. The pointee is always created
+  // non-const (Init / the copy here), so the const_cast is well-defined.
+  if (vcodes_.use_count() != 1) {
+    auto fresh =
+        std::make_shared<std::vector<std::vector<int32_t>>>(*vcodes_);
+    vcodes_ = fresh;
+    return *fresh;
+  }
+  return const_cast<std::vector<std::vector<int32_t>>&>(*vcodes_);
 }
 
 double Uae::StepLoss(const nn::Tensor& loss) {
   double value = loss->value().at(0, 0);
   nn::Backward(loss);
   nn::ClipGradNorm(model_->Parameters(), config_.grad_clip);
-  optimizer_->Step();
-  optimizer_->ZeroGrad();
+  nn::Adam& opt = Optimizer();
+  opt.Step();
+  opt.ZeroGrad();
   return value;
 }
 
@@ -84,7 +131,7 @@ nn::Tensor Uae::BuildDataLoss(const std::vector<size_t>& rows) {
       wild[static_cast<size_t>(cols_perm[static_cast<size_t>(i)])] = 1;
     }
     for (int vc = 0; vc < n_vc; ++vc) {
-      int32_t code = vcodes_[static_cast<size_t>(vc)][r];
+      int32_t code = (*vcodes_)[static_cast<size_t>(vc)][r];
       tgt_codes[static_cast<size_t>(vc)].push_back(code);
       bool w = wild[static_cast<size_t>(schema_.vcol(vc).orig_col)] != 0;
       in_codes[static_cast<size_t>(vc)].push_back(
@@ -246,6 +293,7 @@ void Uae::TrainHybridEpochs(const workload::JoinWorkload& workload, int epochs,
 void Uae::IngestDataRows(const data::Table& delta, int epochs) {
   UAE_CHECK_EQ(delta.num_cols(), schema_.num_original());
   size_t first_new = num_rows_;
+  std::vector<std::vector<int32_t>>& vcodes = MutableVcodes();
   std::vector<int32_t> orig(static_cast<size_t>(delta.num_cols()));
   std::vector<int32_t> virt;
   for (size_t r = 0; r < delta.num_rows(); ++r) {
@@ -257,7 +305,7 @@ void Uae::IngestDataRows(const data::Table& delta, int epochs) {
     }
     schema_.EncodeRow(orig, &virt);
     for (int vc = 0; vc < schema_.num_virtual(); ++vc) {
-      vcodes_[static_cast<size_t>(vc)].push_back(virt[static_cast<size_t>(vc)]);
+      vcodes[static_cast<size_t>(vc)].push_back(virt[static_cast<size_t>(vc)]);
     }
     ++num_rows_;
   }

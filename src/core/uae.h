@@ -118,6 +118,19 @@ class Uae {
   /// Generative sampling of tuples (original-column codes).
   std::vector<std::vector<int32_t>> Sample(int count) const;
 
+  // ---- Snapshotting ----------------------------------------------------------
+  /// Deep copy: an independent estimator with bit-identical parameters over
+  /// the same table/universe. The clone re-derives its masks from the config
+  /// seed and imports the weight values (via nn/serialize's CopyParams), so
+  /// its estimates are bit-identical to this model's at clone time while
+  /// further training of either side leaves the other untouched. Optimizer
+  /// moments are not cloned (a snapshot serves inference; a clone that keeps
+  /// training warms its Adam state afresh).
+  std::unique_ptr<Uae> Clone() const;
+  /// Imports parameter values from `other` (names and shapes must match —
+  /// i.e. same schema and architecture config).
+  util::Status CopyParamsFrom(const Uae& other);
+
   // ---- Introspection / persistence ------------------------------------------
   size_t SizeBytes() const { return model_->SizeBytes(); }
   size_t num_rows() const { return num_rows_; }
@@ -127,7 +140,18 @@ class Uae {
   util::Status Load(const std::string& path);
 
  private:
+  /// Clone() plumbing: copies the trained state of `other` without
+  /// re-encoding the table into vcodes (the code store is shared
+  /// copy-on-write, so snapshots cost one model's weights, not one table).
+  Uae(const Uae& other);
+
   void Init(const data::Table& table, const UaeConfig& config);
+  MadeConfig MakeMadeConfig() const;
+  /// Training-only state is built lazily: inference snapshots never pay for
+  /// Adam moment buffers.
+  nn::Adam& Optimizer();
+  /// Detaches vcodes_ from any snapshot sharing it before mutation.
+  std::vector<std::vector<int32_t>>& MutableVcodes();
   /// Independent estimation RNG for one query (seed x fingerprint mix).
   util::Rng EstimationRng(uint64_t fingerprint) const;
   /// One optimizer step for the given loss graph.
@@ -149,9 +173,10 @@ class Uae {
   UaeConfig config_;
   data::VirtualSchema schema_;
   std::unique_ptr<MadeModel> model_;
-  std::unique_ptr<nn::Adam> optimizer_;
-  /// Columnar virtual-code store of the training rows.
-  std::vector<std::vector<int32_t>> vcodes_;
+  std::unique_ptr<nn::Adam> optimizer_;  ///< Lazy; see Optimizer().
+  /// Columnar virtual-code store of the training rows, shared between an
+  /// estimator and its Clone()s (copy-on-write via MutableVcodes()).
+  std::shared_ptr<const std::vector<std::vector<int32_t>>> vcodes_;
   size_t num_rows_ = 0;
   mutable util::Rng rng_;
 };

@@ -134,12 +134,7 @@ void MscnEstimator::Train(const workload::Workload& workload,
   }
   if (max_log_ - min_log_ < 1e-6) max_log_ = min_log_ + 1.0;
 
-  std::vector<nn::NamedParam> params;
-  pred_fc1_.CollectParams(&params);
-  pred_fc2_.CollectParams(&params);
-  out_fc1_.CollectParams(&params);
-  out_fc2_.CollectParams(&params);
-  nn::Adam adam(params, config_.lr);
+  nn::Adam adam(Parameters(), config_.lr);
   util::Rng rng(config_.seed + 1);
 
   const int steps_per_epoch = std::max<int>(
@@ -182,14 +177,16 @@ double MscnEstimator::EstimateCard(const workload::Query& query) const {
   return EstimateCardExtra(query, {});
 }
 
-size_t MscnEstimator::SizeBytes() const {
+std::vector<nn::NamedParam> MscnEstimator::Parameters() const {
   std::vector<nn::NamedParam> params;
   pred_fc1_.CollectParams(&params);
   pred_fc2_.CollectParams(&params);
   out_fc1_.CollectParams(&params);
   out_fc2_.CollectParams(&params);
-  return nn::ParamBytes(params);
+  return params;
 }
+
+size_t MscnEstimator::SizeBytes() const { return nn::ParamBytes(Parameters()); }
 
 MscnSamplingEstimator::MscnSamplingEstimator(const data::Table& table,
                                              size_t sample_rows, MscnConfig config) {

@@ -45,6 +45,9 @@ class MscnEstimator : public CardinalityEstimator {
                            const std::vector<float>& extra) const;
   size_t SizeBytes() const override;
 
+  /// Named trainable parameters (both MLPs), for nn/serialize checkpoints.
+  std::vector<nn::NamedParam> Parameters() const;
+
  private:
   struct QueryFeatures {
     nn::Mat preds;   ///< [max_preds, pred_width], zero-padded.

@@ -1,19 +1,18 @@
 #include "nn/serialize.h"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <sstream>
 
 namespace uae::nn {
 
 namespace {
+
 constexpr char kMagic[4] = {'U', 'A', 'E', 'W'};
 constexpr uint32_t kVersion = 1;
-}  // namespace
 
-util::Status SaveParams(const std::string& path,
-                        const std::vector<NamedParam>& params) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) return util::Status::IoError("cannot open " + path);
+void WriteParams(std::ostream& out, const std::vector<NamedParam>& params) {
   out.write(kMagic, 4);
   uint32_t version = kVersion;
   out.write(reinterpret_cast<const char*>(&version), sizeof(version));
@@ -29,17 +28,14 @@ util::Status SaveParams(const std::string& path,
     out.write(reinterpret_cast<const char*>(p.tensor->value().data()),
               static_cast<std::streamsize>(sizeof(float) * p.tensor->value().size()));
   }
-  if (!out.good()) return util::Status::IoError("write failed: " + path);
-  return util::Status::Ok();
 }
 
-util::Status LoadParams(const std::string& path, std::vector<NamedParam>* params) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) return util::Status::IoError("cannot open " + path);
+util::Status ReadParams(std::istream& in, const std::string& origin,
+                        std::vector<NamedParam>* params) {
   char magic[4];
   in.read(magic, 4);
-  if (std::memcmp(magic, kMagic, 4) != 0) {
-    return util::Status::InvalidArgument("bad magic in " + path);
+  if (!in.good() || std::memcmp(magic, kMagic, 4) != 0) {
+    return util::Status::InvalidArgument("bad magic in " + origin);
   }
   uint32_t version = 0, count = 0;
   in.read(reinterpret_cast<char*>(&version), sizeof(version));
@@ -66,7 +62,58 @@ util::Status LoadParams(const std::string& path, std::vector<NamedParam>* params
     in.read(reinterpret_cast<char*>(p.tensor->mutable_value().data()),
             static_cast<std::streamsize>(sizeof(float) * p.tensor->value().size()));
   }
-  if (!in.good()) return util::Status::IoError("read failed: " + path);
+  if (!in.good()) return util::Status::IoError("read failed: " + origin);
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+util::Status SaveParams(const std::string& path,
+                        const std::vector<NamedParam>& params) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return util::Status::IoError("cannot open " + path);
+  WriteParams(out, params);
+  if (!out.good()) return util::Status::IoError("write failed: " + path);
+  return util::Status::Ok();
+}
+
+util::Status LoadParams(const std::string& path, std::vector<NamedParam>* params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return util::Status::IoError("cannot open " + path);
+  return ReadParams(in, path, params);
+}
+
+std::string SerializeParams(const std::vector<NamedParam>& params) {
+  std::ostringstream out(std::ios::binary);
+  WriteParams(out, params);
+  return std::move(out).str();
+}
+
+util::Status DeserializeParams(const std::string& blob,
+                               std::vector<NamedParam>* params) {
+  std::istringstream in(blob, std::ios::binary);
+  return ReadParams(in, "<memory>", params);
+}
+
+util::Status CopyParams(const std::vector<NamedParam>& src,
+                        std::vector<NamedParam>* dst) {
+  if (src.size() != dst->size()) {
+    return util::Status::InvalidArgument("parameter count mismatch");
+  }
+  for (size_t i = 0; i < src.size(); ++i) {
+    const NamedParam& s = src[i];
+    NamedParam& d = (*dst)[i];
+    if (s.name != d.name) {
+      return util::Status::InvalidArgument("parameter name mismatch: expected " +
+                                           d.name + " got " + s.name);
+    }
+    if (s.tensor->rows() != d.tensor->rows() ||
+        s.tensor->cols() != d.tensor->cols()) {
+      return util::Status::InvalidArgument("shape mismatch for " + d.name);
+    }
+    std::memcpy(d.tensor->mutable_value().data(), s.tensor->value().data(),
+                sizeof(float) * s.tensor->value().size());
+  }
   return util::Status::Ok();
 }
 

@@ -2,6 +2,10 @@
 //
 // Format: magic "UAEW", u32 version, u32 count, then per entry:
 //   u32 name_len, name bytes, i32 rows, i32 cols, rows*cols f32 payload.
+//
+// The same format is available in-memory (SerializeParams/DeserializeParams)
+// for snapshot transport, and CopyParams transfers values directly between
+// two live parameter lists with the same name/shape checking.
 #pragma once
 
 #include <string>
@@ -16,6 +20,20 @@ util::Status SaveParams(const std::string& path, const std::vector<NamedParam>& 
 
 /// Loads into the given parameter list. Names and shapes must match exactly.
 util::Status LoadParams(const std::string& path, std::vector<NamedParam>* params);
+
+/// Serializes the parameter list to an in-memory checkpoint (same binary
+/// format as SaveParams writes to disk).
+std::string SerializeParams(const std::vector<NamedParam>& params);
+
+/// Restores parameter values from an in-memory checkpoint produced by
+/// SerializeParams. Names and shapes must match exactly.
+util::Status DeserializeParams(const std::string& blob,
+                               std::vector<NamedParam>* params);
+
+/// Copies parameter values from `src` into `dst` (no serialization round
+/// trip). Entry i of both lists must agree on name and shape.
+util::Status CopyParams(const std::vector<NamedParam>& src,
+                        std::vector<NamedParam>* dst);
 
 /// Total number of scalar weights (for the "Size" column of the tables).
 size_t ParamCount(const std::vector<NamedParam>& params);

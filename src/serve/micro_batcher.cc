@@ -1,0 +1,64 @@
+#include "serve/micro_batcher.h"
+
+#include <algorithm>
+
+namespace uae::serve {
+
+MicroBatcher::MicroBatcher(size_t queue_capacity, size_t max_batch,
+                           std::chrono::microseconds max_wait)
+    : capacity_(std::max<size_t>(1, queue_capacity)),
+      max_batch_(std::max<size_t>(1, max_batch)),
+      max_wait_(max_wait) {}
+
+bool MicroBatcher::Push(EstimateRequest&& request) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [this] { return closed_ || queue_.size() < capacity_; });
+  if (closed_) return false;
+  queue_.push_back(std::move(request));
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+std::vector<EstimateRequest> MicroBatcher::PopBatch() {
+  std::vector<EstimateRequest> batch;
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return batch;  // Closed and drained.
+
+  // The batch opens at first arrival; admit more until size or deadline.
+  const auto deadline = std::chrono::steady_clock::now() + max_wait_;
+  for (;;) {
+    bool drained = false;
+    while (!queue_.empty() && batch.size() < max_batch_) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      drained = true;
+    }
+    // Wake producers blocked on a full queue *before* parking on the
+    // deadline, or a queue_capacity < max_batch configuration would cap
+    // every batch at the queue size and stall the dispatcher for the whole
+    // max_wait while producers sleep.
+    if (drained) not_full_.notify_all();
+    if (batch.size() >= max_batch_ || closed_) break;
+    if (!not_empty_.wait_until(lock, deadline,
+                               [this] { return closed_ || !queue_.empty(); })) {
+      break;  // Deadline hit with a partial batch.
+    }
+    if (queue_.empty()) break;  // Closed while waiting.
+  }
+  lock.unlock();
+  not_full_.notify_all();
+  return batch;
+}
+
+void MicroBatcher::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+}  // namespace uae::serve

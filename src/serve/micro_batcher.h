@@ -1,0 +1,71 @@
+// Micro-batching admission queue for the estimation service.
+//
+// Client threads Push() single-query requests into a bounded queue
+// (backpressure: Push blocks while the queue is at capacity). A dispatcher
+// thread drains with PopBatch(): it blocks until at least one request is
+// queued, then keeps admitting arrivals until either `max_batch` requests are
+// collected or `max_wait` has elapsed since the batch opened — the classic
+// size-or-deadline coalescing policy. Close() wakes everyone and makes
+// further Push calls fail so the dispatcher can drain and exit.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "util/common.h"
+#include "workload/query.h"
+
+namespace uae::serve {
+
+/// What the service answers per query.
+struct ServeResult {
+  double card = 0.0;         ///< Estimated cardinality.
+  uint64_t generation = 0;   ///< Snapshot generation that produced the value.
+  bool cache_hit = false;
+};
+
+/// One in-flight estimation request. The query is copied in so the request
+/// outlives the caller's stack frame (needed for the future-based API).
+struct EstimateRequest {
+  workload::Query query;
+  uint64_t fingerprint = 0;
+  std::promise<ServeResult> promise;
+};
+
+class MicroBatcher {
+ public:
+  MicroBatcher(size_t queue_capacity, size_t max_batch,
+               std::chrono::microseconds max_wait);
+  UAE_DISALLOW_COPY(MicroBatcher);
+
+  /// Enqueues a request; blocks while the queue is full. Returns false (and
+  /// leaves `request` untouched) once Close() has been called.
+  bool Push(EstimateRequest&& request);
+
+  /// Dispatcher side: blocks for the next micro-batch. Returns an empty
+  /// vector only when the batcher is closed and fully drained.
+  std::vector<EstimateRequest> PopBatch();
+
+  /// Unblocks producers and the dispatcher; queued requests still drain.
+  void Close();
+
+  size_t max_batch() const { return max_batch_; }
+
+ private:
+  const size_t capacity_;
+  const size_t max_batch_;
+  const std::chrono::microseconds max_wait_;
+
+  std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<EstimateRequest> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace uae::serve

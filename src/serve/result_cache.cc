@@ -1,0 +1,101 @@
+#include "serve/result_cache.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/mathutil.h"
+
+namespace uae::serve {
+
+size_t ResultCache::KeyHash::operator()(const Key& k) const {
+  return static_cast<size_t>(
+      util::SplitMix64(k.first ^ util::SplitMix64(k.second)));
+}
+
+ResultCache::ResultCache(const ResultCacheConfig& config)
+    : shards_(std::bit_ceil(std::max<size_t>(1, config.shards))) {
+  shard_mask_ = shards_.size() - 1;
+  per_shard_capacity_ =
+      std::max<size_t>(1, (std::max<size_t>(1, config.capacity) +
+                           shards_.size() - 1) /
+                              shards_.size());
+}
+
+ResultCache::Shard& ResultCache::ShardFor(uint64_t fingerprint) {
+  // The low fingerprint bits feed predicate structure straight through; remix
+  // so adjacent fingerprints spread across shards.
+  return shards_[static_cast<size_t>(util::SplitMix64(fingerprint)) & shard_mask_];
+}
+
+std::optional<double> ResultCache::Lookup(uint64_t fingerprint,
+                                          uint64_t generation) {
+  Shard& shard = ShardFor(fingerprint);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(Key{fingerprint, generation});
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->value;
+}
+
+void ResultCache::Insert(uint64_t fingerprint, uint64_t generation,
+                         double value) {
+  Shard& shard = ShardFor(fingerprint);
+  Key key{fingerprint, generation};
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->value = value;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, value});
+  shard.index.emplace(key, shard.lru.begin());
+  ++shard.insertions;
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void ResultCache::EvictBelowGeneration(uint64_t generation) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->key.second < generation) {
+        shard.index.erase(it->key);
+        it = shard.lru.erase(it);
+        ++shard.evictions;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+size_t ResultCache::Size() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.lru.size();
+  }
+  return n;
+}
+
+ResultCacheStats ResultCache::Stats() const {
+  ResultCacheStats s;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    s.hits += shard.hits;
+    s.misses += shard.misses;
+    s.insertions += shard.insertions;
+    s.evictions += shard.evictions;
+  }
+  return s;
+}
+
+}  // namespace uae::serve

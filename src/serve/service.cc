@@ -1,0 +1,174 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/threadpool.h"
+
+namespace uae::serve {
+
+EstimationService::EstimationService(
+    std::shared_ptr<const core::Uae> initial_model, const ServiceConfig& config)
+    : config_(config),
+      slot_(std::move(initial_model)),
+      cache_(config.cache),
+      batcher_(config.queue_capacity, config.max_batch,
+               std::chrono::microseconds(config.max_wait_us)) {
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+EstimationService::~EstimationService() {
+  batcher_.Close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+ServeResult EstimationService::EstimateInline(const workload::Query& query,
+                                              uint64_t fingerprint) {
+  std::shared_ptr<const ModelSnapshot> snap = slot_.Current();
+  if (config_.cache_enabled) {
+    if (auto v = cache_.Lookup(fingerprint, snap->generation)) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return {*v, snap->generation, true};
+    }
+  }
+  double card = snap->model->EstimateCard(query);
+  if (config_.cache_enabled) {
+    cache_.Insert(fingerprint, snap->generation, card);
+  }
+  return {card, snap->generation, false};
+}
+
+namespace {
+
+std::future<ServeResult> ReadyFuture(ServeResult result) {
+  std::promise<ServeResult> ready;
+  ready.set_value(result);
+  return ready.get_future();
+}
+
+}  // namespace
+
+std::future<ServeResult> EstimationService::EstimateAsync(
+    const workload::Query& query) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t fingerprint = query.Fingerprint();
+
+  // Fast path: answered from the cache against the current snapshot without
+  // touching the queue.
+  if (config_.cache_enabled) {
+    std::shared_ptr<const ModelSnapshot> snap = slot_.Current();
+    if (auto v = cache_.Lookup(fingerprint, snap->generation)) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return ReadyFuture({*v, snap->generation, true});
+    }
+  }
+
+  // A global-pool worker must never block on the dispatcher: the dispatcher
+  // fans batches across that same pool, so parking workers on service futures
+  // could leave no one to run the batch. Answer on the calling thread.
+  if (util::GlobalPool().InThisPool()) {
+    inline_requests_.fetch_add(1, std::memory_order_relaxed);
+    return ReadyFuture(EstimateInline(query, fingerprint));
+  }
+
+  EstimateRequest request;
+  request.query = query;
+  request.fingerprint = fingerprint;
+  std::future<ServeResult> queued_future = request.promise.get_future();
+  if (!batcher_.Push(std::move(request))) {
+    // Service is shutting down; degrade to an inline answer. A refused Push
+    // leaves `request` untouched, so its promise still backs the future.
+    inline_requests_.fetch_add(1, std::memory_order_relaxed);
+    request.promise.set_value(EstimateInline(query, fingerprint));
+  }
+  return queued_future;
+}
+
+ServeResult EstimationService::Estimate(const workload::Query& query) {
+  return EstimateAsync(query).get();
+}
+
+uint64_t EstimationService::PublishSnapshot(
+    std::shared_ptr<const core::Uae> model) {
+  uint64_t generation = slot_.Publish(std::move(model));
+  snapshots_published_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.evict_stale_on_publish) {
+    cache_.EvictBelowGeneration(generation);
+  }
+  return generation;
+}
+
+void EstimationService::DispatchLoop() {
+  for (;;) {
+    std::vector<EstimateRequest> batch = batcher_.PopBatch();
+    if (batch.empty()) return;  // Closed and drained.
+    RunBatch(std::move(batch));
+  }
+}
+
+void EstimationService::RunBatch(std::vector<EstimateRequest> batch) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t size = static_cast<uint64_t>(batch.size());
+  uint64_t seen = max_batch_observed_.load(std::memory_order_relaxed);
+  while (size > seen &&
+         !max_batch_observed_.compare_exchange_weak(seen, size,
+                                                    std::memory_order_relaxed)) {
+  }
+
+  // The whole batch runs against ONE snapshot — grabbed once, held to the
+  // end — so every response in it is attributable to a single generation
+  // even if a publish lands mid-batch.
+  std::shared_ptr<const ModelSnapshot> snap = slot_.Current();
+  const uint64_t generation = snap->generation;
+
+  std::vector<ServeResult> results(batch.size());
+  std::vector<size_t> miss_index;
+  std::vector<workload::Query> miss_queries;
+  miss_index.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    // Re-check the cache under the batch snapshot: an earlier batch (or an
+    // inline caller) may have filled the entry since this request enqueued.
+    // Duplicates inside one batch are simply evaluated twice — estimates are
+    // pure functions of (model, query), so both copies come out identical.
+    if (config_.cache_enabled) {
+      if (auto v = cache_.Lookup(batch[i].fingerprint, generation)) {
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        results[i] = {*v, generation, true};
+        continue;
+      }
+    }
+    miss_index.push_back(i);
+    miss_queries.push_back(batch[i].query);
+  }
+
+  if (!miss_queries.empty()) {
+    std::vector<double> cards = snap->model->EstimateCards(miss_queries);
+    batched_queries_.fetch_add(static_cast<uint64_t>(miss_queries.size()),
+                               std::memory_order_relaxed);
+    for (size_t m = 0; m < miss_index.size(); ++m) {
+      results[miss_index[m]] = {cards[m], generation, false};
+      if (config_.cache_enabled) {
+        cache_.Insert(batch[miss_index[m]].fingerprint, generation, cards[m]);
+      }
+    }
+  }
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i].promise.set_value(results[i]);
+  }
+}
+
+ServiceStats EstimationService::Stats() const {
+  ServiceStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.inline_requests = inline_requests_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batched_queries = batched_queries_.load(std::memory_order_relaxed);
+  s.max_batch_observed = max_batch_observed_.load(std::memory_order_relaxed);
+  s.snapshots_published = snapshots_published_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace uae::serve

@@ -1,0 +1,113 @@
+// EstimationService — the concurrent serving layer over core::Uae.
+//
+// Many client threads call Estimate()/EstimateAsync() with single queries;
+// the service coalesces them into micro-batches (MicroBatcher) and fans each
+// batch through Uae::EstimateCards, which parallelizes progressive sampling
+// across the global pool. Because PR 1 made every estimate a pure function of
+// (model, query) — per-query RNG derived from the query fingerprint — the
+// served results are bit-identical to sequential EstimateCard calls no matter
+// how requests interleave, batch, or hit the cache.
+//
+// A snapshot swap (PublishSnapshot) is a single atomic shared_ptr store: a
+// background trainer keeps training its own Uae and publishes Clone()s; every
+// response reports the generation of the snapshot that produced it, and the
+// result cache keys on (fingerprint, generation) so stale hits are
+// impossible by construction.
+//
+// Deadlock note: a request issued *from a global-pool worker* (e.g. an
+// estimator callback inside ParallelFor) is answered inline against the
+// current snapshot instead of being queued — if every pool worker blocked on
+// the dispatcher, the dispatcher's own ParallelFor fan-out could never run.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+
+#include "core/uae.h"
+#include "serve/micro_batcher.h"
+#include "serve/result_cache.h"
+#include "serve/snapshot.h"
+#include "workload/query.h"
+
+namespace uae::serve {
+
+struct ServiceConfig {
+  // Micro-batch admission policy.
+  size_t max_batch = 64;       ///< Flush when this many requests coalesced.
+  uint64_t max_wait_us = 200;  ///< ... or when the oldest waited this long.
+  size_t queue_capacity = 1024;  ///< Bounded queue; Push blocks when full.
+
+  // Result cache.
+  bool cache_enabled = true;
+  ResultCacheConfig cache;
+
+  /// Eagerly drop cache entries of superseded generations on publish.
+  bool evict_stale_on_publish = true;
+};
+
+struct ServiceStats {
+  uint64_t requests = 0;        ///< Total Estimate/EstimateAsync calls.
+  uint64_t cache_hits = 0;      ///< Answered from the result cache.
+  uint64_t inline_requests = 0; ///< Answered inline (pool-worker callers).
+  uint64_t batches = 0;         ///< Micro-batches executed.
+  uint64_t batched_queries = 0; ///< Model-evaluated queries inside batches.
+  uint64_t max_batch_observed = 0;
+  uint64_t snapshots_published = 0;  ///< Excludes the initial snapshot.
+};
+
+class EstimationService {
+ public:
+  /// Starts the dispatcher thread over the initial model snapshot
+  /// (generation 1). The service shares ownership of the model.
+  EstimationService(std::shared_ptr<const core::Uae> initial_model,
+                    const ServiceConfig& config = {});
+  ~EstimationService();
+  UAE_DISALLOW_COPY(EstimationService);
+
+  /// Blocking single-query estimate (cardinality + attribution).
+  ServeResult Estimate(const workload::Query& query);
+  /// Convenience: just the cardinality.
+  double EstimateCard(const workload::Query& query) { return Estimate(query).card; }
+  /// Non-blocking: the future resolves when the micro-batch containing the
+  /// query completes (immediately for cache hits and inline callers).
+  std::future<ServeResult> EstimateAsync(const workload::Query& query);
+
+  /// Atomically publishes a new model snapshot; in-flight batches finish on
+  /// the snapshot they started with. Returns the new generation.
+  uint64_t PublishSnapshot(std::shared_ptr<const core::Uae> model);
+
+  uint64_t CurrentGeneration() const { return slot_.CurrentGeneration(); }
+  /// The currently-published snapshot (for direct read-side access).
+  std::shared_ptr<const ModelSnapshot> CurrentSnapshot() const {
+    return slot_.Current();
+  }
+
+  ServiceStats Stats() const;
+  ResultCacheStats CacheStats() const { return cache_.Stats(); }
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  /// Answers one request synchronously on the calling thread (cache-aware).
+  ServeResult EstimateInline(const workload::Query& query, uint64_t fingerprint);
+  /// Dispatcher: drains micro-batches until the batcher closes.
+  void DispatchLoop();
+  void RunBatch(std::vector<EstimateRequest> batch);
+
+  ServiceConfig config_;
+  SnapshotSlot slot_;
+  ResultCache cache_;
+  MicroBatcher batcher_;
+  std::thread dispatcher_;
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> inline_requests_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batched_queries_{0};
+  std::atomic<uint64_t> max_batch_observed_{0};
+  std::atomic<uint64_t> snapshots_published_{0};
+};
+
+}  // namespace uae::serve

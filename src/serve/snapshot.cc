@@ -1,0 +1,50 @@
+#include "serve/snapshot.h"
+
+#include "util/common.h"
+
+namespace uae::serve {
+
+SnapshotSlot::SnapshotSlot(std::shared_ptr<const core::Uae> initial)
+    : next_generation_(2) {
+  UAE_CHECK(initial != nullptr);
+  auto snap = std::make_shared<ModelSnapshot>();
+  snap->generation = 1;
+  snap->model = std::move(initial);
+#ifdef UAE_SNAPSHOT_TSAN
+  current_ = std::move(snap);
+#else
+  current_.store(std::move(snap), std::memory_order_release);
+#endif
+}
+
+std::shared_ptr<const ModelSnapshot> SnapshotSlot::Current() const {
+#ifdef UAE_SNAPSHOT_TSAN
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+#else
+  return current_.load(std::memory_order_acquire);
+#endif
+}
+
+uint64_t SnapshotSlot::Publish(std::shared_ptr<const core::Uae> model) {
+  UAE_CHECK(model != nullptr);
+  auto snap = std::make_shared<ModelSnapshot>();
+  snap->model = std::move(model);
+  // Generation allocation and the store form one critical section so racing
+  // publishers cannot install a lower generation over a higher one; readers
+  // go through the atomic pointer and never contend on this mutex.
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  snap->generation = next_generation_++;
+  uint64_t gen = snap->generation;
+#ifdef UAE_SNAPSHOT_TSAN
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = std::move(snap);
+  }
+#else
+  current_.store(std::move(snap), std::memory_order_release);
+#endif
+  return gen;
+}
+
+}  // namespace uae::serve

@@ -5,10 +5,10 @@
 namespace uae::util {
 
 namespace {
-thread_local bool t_in_pool_worker = false;
+thread_local const ThreadPool* t_worker_pool = nullptr;
 }  // namespace
 
-bool ThreadPool::InWorkerThread() { return t_in_pool_worker; }
+bool ThreadPool::InThisPool() const { return t_worker_pool == this; }
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -44,7 +44,7 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::WorkerLoop() {
-  t_in_pool_worker = true;
+  t_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -75,7 +75,7 @@ void ParallelFor(size_t begin, size_t end,
   ThreadPool& pool = GlobalPool();
   size_t n = end - begin;
   size_t workers = pool.num_threads();
-  if (workers <= 1 || n < min_parallel_size || ThreadPool::InWorkerThread()) {
+  if (workers <= 1 || n < min_parallel_size || pool.InThisPool()) {
     body(begin, end);
     return;
   }

@@ -29,10 +29,12 @@ class ThreadPool {
   /// Blocks until all submitted work has finished.
   void Wait();
 
-  /// True when the calling thread is one of this process's pool workers.
-  /// Nested ParallelFor calls from workers run inline: blocking a worker on
-  /// sub-chunks it cannot steal back would deadlock the pool.
-  static bool InWorkerThread();
+  /// True when the calling thread is a worker of *this* pool. Nested
+  /// ParallelFor calls from a pool's own workers run inline: blocking a
+  /// worker on sub-chunks it cannot steal back would deadlock the pool.
+  /// Workers of a *different* pool (e.g. a service dispatcher) may still fan
+  /// work out here — their blocking cannot starve this pool's queue.
+  bool InThisPool() const;
 
  private:
   void WorkerLoop();

@@ -4,11 +4,17 @@
 // or on how the pool schedules chunks.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
 #include <vector>
 
 #include "core/progressive.h"
 #include "core/uae.h"
 #include "data/synthetic.h"
+#include "serve/service.h"
 #include "util/threadpool.h"
 #include "workload/generator.h"
 
@@ -121,6 +127,103 @@ TEST(DeterminismTest, ParallelForFromWorkerRunsInline) {
       },
       /*min_parallel_size=*/1);
   for (int v : out) EXPECT_EQ(v, 1);
+}
+
+TEST(DeterminismTest, ParallelForFromForeignPoolWorkerFansOut) {
+  // The inline rule is per pool, not per process: a worker of a *different*
+  // pool (the serving dispatcher pattern) submitting ParallelFor work to the
+  // global pool must fan it out there, not silently serialize it.
+  if (util::GlobalPool().num_threads() <= 1) GTEST_SKIP();
+  util::ThreadPool foreign(1);
+  std::atomic<int> ran_on_foreign_worker{0};
+  std::atomic<int> cells{0};
+  foreign.Submit([&] {
+    const std::thread::id me = std::this_thread::get_id();
+    util::ParallelFor(
+        0, 8,
+        [&](size_t lo, size_t hi) {
+          if (std::this_thread::get_id() == me) ran_on_foreign_worker.fetch_add(1);
+          cells.fetch_add(static_cast<int>(hi - lo));
+        },
+        /*min_parallel_size=*/1);
+  });
+  foreign.Wait();
+  EXPECT_EQ(cells.load(), 8);
+  // The fanned-out chunks execute on global-pool workers while the foreign
+  // worker blocks on completion; had the call run inline we'd see the
+  // foreign worker's id here.
+  EXPECT_EQ(ran_on_foreign_worker.load(), 0);
+}
+
+TEST(DeterminismTest, ServiceRequestsFromPoolWorkersDoNotDeadlock) {
+  // The micro-batcher drain path depends on global-pool workers never
+  // blocking on service futures: if an estimator callback running inside
+  // ParallelFor submits to the service and parks, the dispatcher's own
+  // fan-out has no workers left and the pool deadlocks. Such requests are
+  // answered inline — this hammers exactly that path.
+  Fixture& f = Shared();
+  auto model = std::shared_ptr<const Uae>(f.uae.Clone());
+  serve::ServiceConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 50;
+  serve::EstimationService service(model, cfg);
+
+  std::vector<double> sequential;
+  for (const auto& q : f.queries) sequential.push_back(model->EstimateCard(q));
+
+  std::vector<double> served(f.queries.size(), 0.0);
+  util::ParallelFor(
+      0, f.queries.size(),
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          served[i] = service.Estimate(f.queries[i]).card;
+        }
+      },
+      /*min_parallel_size=*/1);
+
+  for (size_t i = 0; i < served.size(); ++i) {
+    EXPECT_DOUBLE_EQ(served[i], sequential[i]) << "query " << i;
+  }
+  // From inside the pool the service must have answered on the calling
+  // threads (inline) rather than through the dispatcher queue.
+  if (util::GlobalPool().num_threads() > 1) {
+    EXPECT_GT(service.Stats().inline_requests, 0u);
+  }
+}
+
+TEST(DeterminismTest, MixedInlineAndQueuedTrafficStaysDeterministic) {
+  // Plain client threads (queued + micro-batched) racing pool-worker callers
+  // (inline) against one service: every answer must still be the pure
+  // function of (model, query).
+  Fixture& f = Shared();
+  auto model = std::shared_ptr<const Uae>(f.uae.Clone());
+  serve::EstimationService service(model);
+
+  std::vector<double> sequential;
+  for (const auto& q : f.queries) sequential.push_back(model->EstimateCard(q));
+
+  std::atomic<int> mismatches{0};
+  std::thread outside([&] {
+    for (int r = 0; r < 3; ++r) {
+      for (size_t i = 0; i < f.queries.size(); ++i) {
+        if (service.Estimate(f.queries[i]).card != sequential[i]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    }
+  });
+  util::ParallelFor(
+      0, f.queries.size(),
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          if (service.Estimate(f.queries[i]).card != sequential[i]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      },
+      /*min_parallel_size=*/1);
+  outside.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 }  // namespace

@@ -1,0 +1,260 @@
+// Concurrency hardening of serve::EstimationService: N client threads x M
+// queries through the micro-batched service must be bit-identical to the
+// sequential Uae::EstimateCard path (PR 1's per-query RNG determinism),
+// with the result cache enabled and disabled, across batch compositions.
+// Also covers the MicroBatcher admission policy and the sharded LRU cache
+// in isolation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/uae.h"
+#include "data/synthetic.h"
+#include "serve/micro_batcher.h"
+#include "serve/result_cache.h"
+#include "serve/service.h"
+#include "workload/generator.h"
+
+namespace uae::serve {
+namespace {
+
+core::UaeConfig SmallConfig() {
+  core::UaeConfig cfg;
+  cfg.hidden = 32;
+  cfg.ps_samples = 64;
+  cfg.seed = 19;
+  return cfg;
+}
+
+struct Fixture {
+  data::Table table;
+  std::shared_ptr<core::Uae> uae;
+  std::vector<workload::Query> queries;
+  std::vector<double> sequential;  ///< Reference estimates, one per query.
+
+  Fixture() : table(data::TinyCorrelated(1000, 3)) {
+    uae = std::make_shared<core::Uae>(table, SmallConfig());
+    uae->TrainDataEpochs(2);
+    workload::GeneratorConfig gc;
+    gc.min_filters = 1;
+    gc.max_filters = 3;
+    workload::QueryGenerator gen(table, gc, 41);
+    for (const auto& lq : gen.GenerateLabeled(24, nullptr)) {
+      queries.push_back(lq.query);
+    }
+    for (const auto& q : queries) sequential.push_back(uae->EstimateCard(q));
+  }
+};
+
+Fixture& Shared() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+/// N client threads, each submitting every query `rounds` times in a
+/// thread-dependent order; every response must match the sequential
+/// reference bitwise.
+void HammerAndCheck(EstimationService& service, const Fixture& f,
+                    int num_threads, int rounds) {
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int r = 0; r < rounds; ++r) {
+        for (size_t i = 0; i < f.queries.size(); ++i) {
+          // Rotate the starting query per thread so concurrent batches mix
+          // different compositions.
+          size_t qi = (i + static_cast<size_t>(t)) % f.queries.size();
+          ServeResult res = service.Estimate(f.queries[qi]);
+          if (res.card != f.sequential[qi]) mismatches.fetch_add(1);
+          if (res.generation != 1) mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ServeServiceTest, ConcurrentParityWithCache) {
+  Fixture& f = Shared();
+  ServiceConfig cfg;
+  cfg.max_batch = 16;
+  cfg.max_wait_us = 100;
+  EstimationService service(f.uae, cfg);
+  HammerAndCheck(service, f, /*num_threads=*/8, /*rounds=*/3);
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.requests, 8u * 3u * f.queries.size());
+  // Every query repeats 24 times across threads/rounds; the cache must have
+  // answered some of them.
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_GT(stats.batches, 0u);
+}
+
+TEST(ServeServiceTest, ConcurrentParityWithoutCache) {
+  Fixture& f = Shared();
+  ServiceConfig cfg;
+  cfg.cache_enabled = false;
+  cfg.max_batch = 8;
+  cfg.max_wait_us = 100;
+  EstimationService service(f.uae, cfg);
+  HammerAndCheck(service, f, /*num_threads=*/6, /*rounds=*/2);
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.cache_hits, 0u);
+  // Without a cache every request is model-evaluated (batched or inline).
+  EXPECT_EQ(stats.batched_queries + stats.inline_requests, stats.requests);
+}
+
+TEST(ServeServiceTest, SingleThreadMatchesSequential) {
+  Fixture& f = Shared();
+  EstimationService service(f.uae);
+  for (size_t i = 0; i < f.queries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(service.EstimateCard(f.queries[i]), f.sequential[i]);
+  }
+}
+
+TEST(ServeServiceTest, CacheHitAndMissPathsAgree) {
+  Fixture& f = Shared();
+  EstimationService service(f.uae);
+  ServeResult first = service.Estimate(f.queries[0]);
+  EXPECT_FALSE(first.cache_hit);
+  ServeResult second = service.Estimate(f.queries[0]);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(first.card, second.card);
+  EXPECT_EQ(first.generation, second.generation);
+}
+
+TEST(ServeServiceTest, AsyncBatchSubmissionMatchesSequential) {
+  Fixture& f = Shared();
+  ServiceConfig cfg;
+  cfg.max_batch = 32;
+  cfg.max_wait_us = 500;
+  EstimationService service(f.uae, cfg);
+  std::vector<std::future<ServeResult>> futures;
+  for (const auto& q : f.queries) futures.push_back(service.EstimateAsync(q));
+  for (size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_DOUBLE_EQ(futures[i].get().card, f.sequential[i]);
+  }
+  // One submitter + generous deadline: requests must have coalesced.
+  EXPECT_GT(service.Stats().max_batch_observed, 1u);
+}
+
+TEST(ServeServiceTest, TinyQueueBackpressureStillCorrect) {
+  Fixture& f = Shared();
+  ServiceConfig cfg;
+  cfg.queue_capacity = 2;  // Forces Push to block and batches to stay small.
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 50;
+  EstimationService service(f.uae, cfg);
+  HammerAndCheck(service, f, /*num_threads=*/4, /*rounds=*/1);
+}
+
+// ---- MicroBatcher unit coverage -------------------------------------------
+
+TEST(MicroBatcherTest, CoalescesUpToMaxBatch) {
+  MicroBatcher batcher(/*queue_capacity=*/64, /*max_batch=*/4,
+                       std::chrono::microseconds(50'000));
+  for (int i = 0; i < 6; ++i) {
+    EstimateRequest req;
+    req.fingerprint = static_cast<uint64_t>(i);
+    ASSERT_TRUE(batcher.Push(std::move(req)));
+  }
+  std::vector<EstimateRequest> first = batcher.PopBatch();
+  EXPECT_EQ(first.size(), 4u);  // Capped at max_batch.
+  EXPECT_EQ(first[0].fingerprint, 0u);  // FIFO order.
+  std::vector<EstimateRequest> second = batcher.PopBatch();
+  EXPECT_EQ(second.size(), 2u);
+  EXPECT_EQ(second[0].fingerprint, 4u);
+}
+
+TEST(MicroBatcherTest, DeadlineFlushesPartialBatch) {
+  MicroBatcher batcher(/*queue_capacity=*/64, /*max_batch=*/1000,
+                       std::chrono::microseconds(2'000));
+  EstimateRequest req;
+  ASSERT_TRUE(batcher.Push(std::move(req)));
+  auto start = std::chrono::steady_clock::now();
+  std::vector<EstimateRequest> batch = batcher.PopBatch();
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(batch.size(), 1u);
+  // Must flush at the deadline, far before any "wait for 1000 requests".
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+TEST(MicroBatcherTest, CloseDrainsAndUnblocks) {
+  MicroBatcher batcher(/*queue_capacity=*/8, /*max_batch=*/4,
+                       std::chrono::microseconds(100));
+  EstimateRequest req;
+  ASSERT_TRUE(batcher.Push(std::move(req)));
+  batcher.Close();
+  EXPECT_EQ(batcher.PopBatch().size(), 1u);  // Queued work still drains.
+  EXPECT_TRUE(batcher.PopBatch().empty());   // Then reports closed.
+  EstimateRequest late;
+  EXPECT_FALSE(batcher.Push(std::move(late)));
+}
+
+// ---- ResultCache unit coverage --------------------------------------------
+
+TEST(ResultCacheTest, GenerationIsPartOfTheKey) {
+  ResultCache cache(ResultCacheConfig{.capacity = 64, .shards = 4});
+  cache.Insert(/*fingerprint=*/7, /*generation=*/1, 100.0);
+  EXPECT_TRUE(cache.Lookup(7, 1).has_value());
+  EXPECT_FALSE(cache.Lookup(7, 2).has_value());  // Swap == implicit miss.
+  cache.Insert(7, 2, 200.0);
+  EXPECT_EQ(cache.Lookup(7, 1).value(), 100.0);
+  EXPECT_EQ(cache.Lookup(7, 2).value(), 200.0);
+}
+
+TEST(ResultCacheTest, LruEvictsColdEntries) {
+  // One shard so the LRU order is fully observable.
+  ResultCache cache(ResultCacheConfig{.capacity = 4, .shards = 1});
+  for (uint64_t fp = 0; fp < 4; ++fp) cache.Insert(fp, 1, static_cast<double>(fp));
+  ASSERT_EQ(cache.Size(), 4u);
+  cache.Lookup(0, 1);   // Touch 0 -> most recent; 1 is now the LRU tail.
+  cache.Insert(9, 1, 9.0);
+  EXPECT_TRUE(cache.Lookup(0, 1).has_value());
+  EXPECT_FALSE(cache.Lookup(1, 1).has_value());
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+}
+
+TEST(ResultCacheTest, EvictBelowGenerationDropsStaleOnly) {
+  ResultCache cache(ResultCacheConfig{.capacity = 64, .shards = 4});
+  for (uint64_t fp = 0; fp < 8; ++fp) cache.Insert(fp, 1, 1.0);
+  for (uint64_t fp = 0; fp < 8; ++fp) cache.Insert(fp, 2, 2.0);
+  cache.EvictBelowGeneration(2);
+  EXPECT_EQ(cache.Size(), 8u);
+  for (uint64_t fp = 0; fp < 8; ++fp) {
+    EXPECT_FALSE(cache.Lookup(fp, 1).has_value());
+    EXPECT_TRUE(cache.Lookup(fp, 2).has_value());
+  }
+}
+
+TEST(ResultCacheTest, ConcurrentMixedWorkloadIsConsistent) {
+  ResultCache cache(ResultCacheConfig{.capacity = 256, .shards = 8});
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 2000; ++i) {
+        uint64_t fp = static_cast<uint64_t>((i * 7 + t) % 512);
+        double expect = static_cast<double>(fp) * 3.0;
+        if (auto v = cache.Lookup(fp, 1)) {
+          if (*v != expect) wrong.fetch_add(1);
+        } else {
+          cache.Insert(fp, 1, expect);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wrong.load(), 0);
+}
+
+}  // namespace
+}  // namespace uae::serve
