@@ -134,6 +134,8 @@ class Uae {
   // ---- Introspection / persistence ------------------------------------------
   size_t SizeBytes() const { return model_->SizeBytes(); }
   size_t num_rows() const { return num_rows_; }
+  /// The construction config (fine-tune controllers read seeds/knobs off it).
+  const UaeConfig& config() const { return config_; }
   const MadeModel& model() const { return *model_; }
   const data::VirtualSchema& schema() const { return schema_; }
   util::Status Save(const std::string& path) const;

@@ -1,0 +1,167 @@
+// AdaptationController — closes the loop: serve -> feedback -> drift ->
+// fine-tune -> hot-swap.
+//
+// On trigger (DriftMonitor fires on the currently served generation) or on
+// demand, the controller drains a labeled mini-workload from the
+// FeedbackCollector, splits it into a fine-tune slice and a held-out slice
+// (deterministic seeded split), clones the incumbent snapshot, runs
+// Uae::TrainQuerySteps on the clone — the UAE-Q refinement of §4.5 — and
+// publishes the candidate through EstimationService::PublishSnapshot.
+//
+// Safety rails:
+//   * regression guard — the candidate is evaluated against the incumbent on
+//     the held-out feedback slice; a candidate whose median q-error is worse
+//     (beyond `guard_max_ratio`) is rejected, so a bad fine-tune can never
+//     dethrone a healthy model;
+//   * max-concurrent-finetune = 1 — a try-lock serializes adaptations; a
+//     second trigger while one is in flight is skipped, not queued;
+//   * cooldown — a minimum number of fresh feedback observations between
+//     attempts, so the controller cannot thrash on the same drift signal;
+//   * stale-signal suppression — a drift report describing a generation that
+//     is no longer the served one is ignored.
+//
+// Start()/Stop() run the trigger poll on a background thread (the autonomous
+// mode); AdaptIfDrifted()/AdaptNow() are the synchronous building blocks and
+// are what deterministic tests drive directly.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "core/uae.h"
+#include "online/drift.h"
+#include "online/feedback.h"
+#include "serve/service.h"
+
+namespace uae::online {
+
+struct AdaptationConfig {
+  int finetune_steps = 80;        ///< TrainQuerySteps on the drained slice.
+  /// When > 0, fine-tune with TrainHybridEpochs (L_data + lambda * L_query,
+  /// Alg. 3) for this many epochs instead of pure UAE-Q steps — slower, but
+  /// anchors the candidate to the data distribution (less forgetting).
+  int hybrid_epochs = 0;
+  double holdout_fraction = 0.25; ///< Feedback held out for the guard.
+  size_t min_feedback = 64;       ///< Don't adapt below this many entries.
+  /// Reject the candidate when its held-out median q-error exceeds the
+  /// incumbent's times this factor (1.0 = "must not be worse at all").
+  double guard_max_ratio = 1.0;
+  /// Minimum new monitor observations between adaptation attempts
+  /// (observation-counted, not wall-clock, so tests stay deterministic).
+  uint64_t cooldown_observations = 0;
+  uint64_t period_ms = 100;       ///< Background trigger-poll period.
+  uint64_t split_seed = 7;        ///< Train/holdout shuffle seed.
+  /// Drain (consume) the buffer on adaptation; false keeps it (reservoir
+  /// setups that want one long-lived sample of the stream).
+  bool drain_on_adapt = true;
+  /// Test seam: runs after fine-tuning, before the guard, while the
+  /// adaptation lock is held (lets tests pin an adaptation in flight).
+  std::function<void()> finetune_hook;
+};
+
+enum class AdaptOutcome {
+  kSkippedNoDrift,       ///< Monitor did not fire.
+  kSkippedStaleSignal,   ///< Fired on a generation no longer being served.
+  kSkippedCooldown,      ///< Not enough fresh observations since last attempt.
+  kSkippedNoFeedback,    ///< Buffer below min_feedback.
+  kSkippedBusy,          ///< Another fine-tune is in flight.
+  kRejectedByGuard,      ///< Candidate was worse on the held-out slice.
+  kPublished,            ///< Candidate accepted and hot-swapped.
+};
+
+const char* AdaptOutcomeName(AdaptOutcome outcome);
+
+/// Everything one adaptation attempt decided and measured.
+struct AdaptationResult {
+  AdaptOutcome outcome = AdaptOutcome::kSkippedNoDrift;
+  uint64_t generation = 0;         ///< Published generation (kPublished only).
+  double incumbent_median = 0.0;   ///< Held-out median q-error of the incumbent.
+  double candidate_median = 0.0;   ///< ... and of the fine-tuned candidate.
+  size_t train_size = 0;
+  size_t holdout_size = 0;
+  double seconds = 0.0;            ///< Wall time of the attempt.
+};
+
+struct AdaptationStats {
+  uint64_t attempts = 0;   ///< Adaptations that reached fine-tuning.
+  uint64_t published = 0;
+  uint64_t rejected = 0;   ///< Guard refusals.
+  uint64_t skipped = 0;    ///< Any kSkipped* outcome.
+  uint64_t last_published_generation = 0;
+};
+
+/// The regression guard, standalone and testable: batched-evaluates both
+/// models on the held-out slice and accepts the candidate iff
+///   candidate_median <= incumbent_median * guard_max_ratio.
+/// An empty holdout rejects (nothing proven means no swap).
+struct GuardVerdict {
+  bool accept = false;
+  double incumbent_median = 0.0;
+  double candidate_median = 0.0;
+};
+GuardVerdict EvaluateCandidate(const core::Uae& incumbent,
+                               const core::Uae& candidate,
+                               const workload::Workload& holdout,
+                               double guard_max_ratio);
+
+class AdaptationController {
+ public:
+  /// All dependencies outlive the controller; it owns only its poll thread.
+  AdaptationController(serve::EstimationService* service,
+                       FeedbackCollector* collector, DriftMonitor* monitor,
+                       const AdaptationConfig& config = {});
+  ~AdaptationController();
+  UAE_DISALLOW_COPY(AdaptationController);
+
+  /// Feedback entry point: records the ground truth observed for a served
+  /// estimate into the collector and the drift monitor.
+  void OnFeedback(const workload::Query& query, const serve::ServeResult& served,
+                  double true_card);
+
+  /// Checks the trigger conditions (drift fired on the served generation,
+  /// cooldown elapsed, enough feedback) and adapts when they hold.
+  AdaptationResult AdaptIfDrifted();
+
+  /// Unconditional adaptation attempt (still subject to min_feedback, the
+  /// busy try-lock, and the regression guard).
+  AdaptationResult AdaptNow();
+
+  /// Autonomous mode: polls AdaptIfDrifted() every `period_ms` on a
+  /// background thread until Stop() (idempotent; the destructor stops too).
+  void Start();
+  void Stop();
+  bool running() const { return thread_.joinable(); }
+
+  AdaptationStats Stats() const;
+  const AdaptationConfig& config() const { return config_; }
+
+ private:
+  AdaptationResult RunAdaptation(std::unique_lock<std::mutex> adapt_lock);
+  void RecordOutcome(const AdaptationResult& result);
+  void PollLoop();
+
+  serve::EstimationService* service_;
+  FeedbackCollector* collector_;
+  DriftMonitor* monitor_;
+  const AdaptationConfig config_;
+
+  std::mutex adapt_mu_;  ///< max-concurrent-finetune = 1 (try_lock).
+  /// Observation count at the last attempt; guarded by adapt_mu_ for writers,
+  /// read under stats_mu_-free atomics would be overkill — reads take
+  /// stats_mu_.
+  mutable std::mutex stats_mu_;
+  AdaptationStats stats_;
+  uint64_t last_attempt_observed_ = 0;
+
+  std::thread thread_;
+  std::mutex poll_mu_;
+  std::condition_variable poll_cv_;
+  bool stop_ = false;
+};
+
+}  // namespace uae::online

@@ -1,0 +1,58 @@
+#include "online/drift.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/common.h"
+
+namespace uae::online {
+
+DriftMonitor::DriftMonitor(const DriftConfig& config) : config_(config) {
+  UAE_CHECK_GT(config_.window, 0u);
+  UAE_CHECK_GT(config_.min_samples, 0u);
+}
+
+void DriftMonitor::Observe(uint64_t generation, double q_error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++observed_;
+  newest_generation_ = std::max(newest_generation_, generation);
+  window_.push_back({generation, q_error});
+  if (window_.size() > config_.window) window_.pop_front();
+}
+
+DriftReport DriftMonitor::Check() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DriftReport report;
+  report.generation = newest_generation_;
+  std::vector<double> errors;
+  errors.reserve(window_.size());
+  for (const Sample& s : window_) {
+    if (s.generation == newest_generation_) errors.push_back(s.q_error);
+  }
+  report.samples = errors.size();
+  if (errors.empty()) return report;
+  report.median = util::Quantile(errors, 0.5);
+  report.p95 = util::Quantile(std::move(errors), 0.95);
+  if (report.samples >= config_.min_samples) {
+    report.fired = report.median > config_.median_threshold ||
+                   (config_.p95_threshold > 0.0 &&
+                    report.p95 > config_.p95_threshold);
+  }
+  return report;
+}
+
+util::ErrorSummary DriftMonitor::SummaryForGeneration(uint64_t generation) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<double> errors;
+  for (const Sample& s : window_) {
+    if (s.generation == generation) errors.push_back(s.q_error);
+  }
+  return util::Summarize(errors);
+}
+
+uint64_t DriftMonitor::TotalObserved() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return observed_;
+}
+
+}  // namespace uae::online

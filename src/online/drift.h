@@ -1,0 +1,70 @@
+// DriftMonitor — notices when the served model has gone stale.
+//
+// Every feedback observation carries the q-error of a served estimate against
+// the ground truth and the snapshot generation that produced the estimate.
+// The monitor keeps a rolling window of these (generation, q-error) samples
+// and evaluates quantiles (util/quantiles) over the samples of the *newest*
+// generation only: a freshly published snapshot starts its evaluation from a
+// clean slate instead of inheriting its predecessor's bad tail, and a stale
+// model's degradation is judged on its own recent traffic.
+//
+// Check() fires when the rolling median (or optionally the p95) q-error of
+// the current generation exceeds its threshold with at least `min_samples`
+// observations — the trigger the AdaptationController polls.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "util/quantiles.h"
+
+namespace uae::online {
+
+struct DriftConfig {
+  size_t window = 512;       ///< Rolling window of recent observations.
+  size_t min_samples = 64;   ///< Required per-generation sample count to fire.
+  double median_threshold = 3.0;  ///< Fire when the rolling median exceeds this.
+  double p95_threshold = 0.0;     ///< Secondary trigger; 0 disables.
+};
+
+/// What Check() saw: quantiles over the newest generation's window samples.
+struct DriftReport {
+  bool fired = false;
+  uint64_t generation = 0;  ///< Generation the quantiles describe.
+  double median = 1.0;
+  double p95 = 1.0;
+  size_t samples = 0;       ///< Window samples of that generation.
+};
+
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(const DriftConfig& config = {});
+
+  /// Records one feedback observation (thread-safe).
+  void Observe(uint64_t generation, double q_error);
+
+  /// Quantiles + trigger decision over the newest generation's samples.
+  DriftReport Check() const;
+
+  /// Rolling q-error summary restricted to one generation's window samples
+  /// (empty summary when the generation has aged out of the window).
+  util::ErrorSummary SummaryForGeneration(uint64_t generation) const;
+
+  uint64_t TotalObserved() const;
+  const DriftConfig& config() const { return config_; }
+
+ private:
+  struct Sample {
+    uint64_t generation = 0;
+    double q_error = 1.0;
+  };
+
+  DriftConfig config_;
+  mutable std::mutex mu_;
+  std::deque<Sample> window_;
+  uint64_t observed_ = 0;
+  uint64_t newest_generation_ = 0;
+};
+
+}  // namespace uae::online

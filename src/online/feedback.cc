@@ -1,0 +1,100 @@
+#include "online/feedback.h"
+
+#include <utility>
+
+namespace uae::online {
+
+FeedbackCollector::FeedbackCollector(const FeedbackConfig& config)
+    : config_(config), rng_(config.seed) {
+  UAE_CHECK_GT(config_.capacity, 0u);
+  buffer_.reserve(config_.capacity);
+}
+
+void FeedbackCollector::Add(FeedbackEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++observed_;
+  ++since_drain_;
+  if (buffer_.size() < config_.capacity) {
+    buffer_.push_back(std::move(entry));
+    return;
+  }
+  switch (config_.policy) {
+    case FeedbackPolicy::kSlidingWindow:
+      // Ring overwrite: ring_next_ is the oldest surviving entry.
+      buffer_[ring_next_] = std::move(entry);
+      ring_next_ = (ring_next_ + 1) % config_.capacity;
+      break;
+    case FeedbackPolicy::kReservoir: {
+      // Algorithm R: the new entry replaces a uniformly chosen victim with
+      // probability capacity/n, keeping the buffer a uniform sample. The
+      // denominator counts arrivals since the last Drain() — the stream the
+      // current buffer actually represents — not lifetime arrivals, which
+      // would freeze the reservoir after the first drain.
+      uint64_t j = static_cast<uint64_t>(
+          rng_.UniformInt(0, static_cast<int64_t>(since_drain_) - 1));
+      if (j < config_.capacity) buffer_[static_cast<size_t>(j)] = std::move(entry);
+      break;
+    }
+  }
+}
+
+size_t FeedbackCollector::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffer_.size();
+}
+
+uint64_t FeedbackCollector::TotalObserved() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return observed_;
+}
+
+std::vector<FeedbackEntry> FeedbackCollector::OrderedLocked() const {
+  // Under the sliding-window policy a full buffer is a ring: the slot about
+  // to be overwritten is the oldest entry. Rotate so callers always see
+  // arrival order. (Reservoir buffers have no meaningful order beyond
+  // insertion; they are returned as stored, which is deterministic.)
+  std::vector<FeedbackEntry> out;
+  out.reserve(buffer_.size());
+  if (config_.policy == FeedbackPolicy::kSlidingWindow &&
+      buffer_.size() == config_.capacity) {
+    for (size_t i = 0; i < buffer_.size(); ++i) {
+      out.push_back(buffer_[(ring_next_ + i) % config_.capacity]);
+    }
+  } else {
+    out = buffer_;
+  }
+  return out;
+}
+
+std::vector<FeedbackEntry> FeedbackCollector::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return OrderedLocked();
+}
+
+std::vector<FeedbackEntry> FeedbackCollector::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FeedbackEntry> out = OrderedLocked();
+  buffer_.clear();
+  ring_next_ = 0;
+  since_drain_ = 0;  // The reservoir restarts over the post-drain stream.
+  return out;
+}
+
+workload::Workload FeedbackCollector::SnapshotWorkload(size_t num_rows) const {
+  return ToWorkload(Snapshot(), num_rows);
+}
+
+workload::Workload ToWorkload(const std::vector<FeedbackEntry>& entries,
+                              size_t num_rows) {
+  std::vector<workload::Query> queries;
+  std::vector<double> cards;
+  queries.reserve(entries.size());
+  cards.reserve(entries.size());
+  for (const FeedbackEntry& e : entries) {
+    queries.push_back(e.query);
+    cards.push_back(e.true_card);
+  }
+  return workload::MakeLabeledWorkload(queries, cards, num_rows);
+}
+
+}  // namespace uae::online

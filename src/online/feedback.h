@@ -1,0 +1,85 @@
+// FeedbackCollector — the entry point of the online adaptation loop (§4.5
+// deployed continuously): client threads (or the plan executor, once a query
+// has actually run) report the true cardinality observed for a served
+// estimate, and the collector buffers these labeled (query, true_card) pairs
+// until the AdaptationController drains them into a fine-tuning workload.
+//
+// The buffer is bounded and concurrent. Two retention policies:
+//   * kSlidingWindow — a ring that overwrites the oldest entry; the buffer is
+//     always the most recent `capacity` observations (best for drift: the
+//     newest traffic IS the shifted workload).
+//   * kReservoir — seeded reservoir sampling (Algorithm R) over everything
+//     ever observed, so the buffer stays a uniform sample of the whole stream
+//     (best when adaptation should not forget the old region entirely).
+// Both are deterministic given the seed and the arrival order.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/query.h"
+
+namespace uae::online {
+
+/// One observed (served estimate, ground truth) pair.
+struct FeedbackEntry {
+  workload::Query query;
+  double true_card = 0.0;       ///< Observed by actually executing the query.
+  double estimated_card = 0.0;  ///< What the service answered at the time.
+  uint64_t generation = 0;      ///< Snapshot generation that produced it.
+};
+
+enum class FeedbackPolicy {
+  kSlidingWindow,  ///< Keep the newest `capacity` entries.
+  kReservoir,      ///< Keep a uniform sample of the whole stream.
+};
+
+struct FeedbackConfig {
+  size_t capacity = 4096;
+  FeedbackPolicy policy = FeedbackPolicy::kSlidingWindow;
+  uint64_t seed = 1;  ///< Drives the reservoir's replacement decisions.
+};
+
+class FeedbackCollector {
+ public:
+  explicit FeedbackCollector(const FeedbackConfig& config = {});
+  UAE_DISALLOW_COPY(FeedbackCollector);
+
+  /// Thread-safe append (subject to the retention policy).
+  void Add(FeedbackEntry entry);
+
+  /// Entries currently buffered (<= capacity).
+  size_t Size() const;
+  /// Entries ever offered to Add(), including ones since evicted.
+  uint64_t TotalObserved() const;
+
+  /// Copy of the buffer in arrival order (oldest first).
+  std::vector<FeedbackEntry> Snapshot() const;
+  /// Moves the buffer out and clears it (arrival order).
+  std::vector<FeedbackEntry> Drain();
+
+  /// The buffered feedback as a labeled workload; selectivities are derived
+  /// from `num_rows` (the served table's row count).
+  workload::Workload SnapshotWorkload(size_t num_rows) const;
+
+ private:
+  /// Buffer contents in arrival order; caller holds mu_.
+  std::vector<FeedbackEntry> OrderedLocked() const;
+
+  const FeedbackConfig config_;
+  mutable std::mutex mu_;
+  std::vector<FeedbackEntry> buffer_;
+  size_t ring_next_ = 0;      ///< Sliding window: next slot to overwrite.
+  uint64_t observed_ = 0;     ///< Lifetime arrivals (reporting).
+  uint64_t since_drain_ = 0;  ///< Arrivals since Drain(): reservoir denominator.
+  util::Rng rng_;
+};
+
+/// Labeled workload from parallel (entry) arrays — the buffer -> Workload
+/// conversion used by the controller (see workload::MakeLabeledWorkload).
+workload::Workload ToWorkload(const std::vector<FeedbackEntry>& entries,
+                              size_t num_rows);
+
+}  // namespace uae::online

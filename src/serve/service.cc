@@ -29,6 +29,7 @@ ServeResult EstimationService::EstimateInline(const workload::Query& query,
   if (config_.cache_enabled) {
     if (auto v = cache_.Lookup(fingerprint, snap->generation)) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      CountAnswered(snap->generation, 1);
       return {*v, snap->generation, true};
     }
   }
@@ -36,7 +37,37 @@ ServeResult EstimationService::EstimateInline(const workload::Query& query,
   if (config_.cache_enabled) {
     cache_.Insert(fingerprint, snap->generation, card);
   }
+  CountAnswered(snap->generation, 1);
   return {card, snap->generation, false};
+}
+
+void EstimationService::CountAnswered(uint64_t generation, uint64_t count) {
+  // Stripe by caller thread: concurrent clients bump disjoint maps.
+  GenerationStripe& stripe = generation_stripes_[std::hash<std::thread::id>{}(
+                                                     std::this_thread::get_id()) &
+                                                 (kGenerationStripes - 1)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  stripe.answered[generation] += count;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>>
+EstimationService::AnsweredByGeneration() const {
+  std::map<uint64_t, uint64_t> merged;
+  for (const GenerationStripe& stripe : generation_stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (const auto& [gen, count] : stripe.answered) merged[gen] += count;
+  }
+  return {merged.begin(), merged.end()};
+}
+
+uint64_t EstimationService::AnsweredForGeneration(uint64_t generation) const {
+  uint64_t total = 0;
+  for (const GenerationStripe& stripe : generation_stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.answered.find(generation);
+    if (it != stripe.answered.end()) total += it->second;
+  }
+  return total;
 }
 
 namespace {
@@ -60,6 +91,7 @@ std::future<ServeResult> EstimationService::EstimateAsync(
     std::shared_ptr<const ModelSnapshot> snap = slot_.Current();
     if (auto v = cache_.Lookup(fingerprint, snap->generation)) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      CountAnswered(snap->generation, 1);
       return ReadyFuture({*v, snap->generation, true});
     }
   }
@@ -154,6 +186,7 @@ void EstimationService::RunBatch(std::vector<EstimateRequest> batch) {
     }
   }
 
+  CountAnswered(generation, static_cast<uint64_t>(batch.size()));
   for (size_t i = 0; i < batch.size(); ++i) {
     batch[i].promise.set_value(results[i]);
   }

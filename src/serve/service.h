@@ -20,10 +20,15 @@
 // the dispatcher, the dispatcher's own ParallelFor fan-out could never run.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "core/uae.h"
 #include "serve/micro_batcher.h"
@@ -88,9 +93,21 @@ class EstimationService {
   ResultCacheStats CacheStats() const { return cache_.Stats(); }
   const ServiceConfig& config() const { return config_; }
 
+  // Per-generation accounting: every response is attributed to exactly one
+  // snapshot generation (the one that produced — or cached — its value), so
+  // summing these counters over all generations equals Stats().requests.
+  // This is what the online adaptation layer reads to see how much traffic
+  // each published snapshot actually answered.
+  /// (generation, answered) pairs sorted by generation.
+  std::vector<std::pair<uint64_t, uint64_t>> AnsweredByGeneration() const;
+  /// Responses attributed to one generation (0 if it never answered).
+  uint64_t AnsweredForGeneration(uint64_t generation) const;
+
  private:
   /// Answers one request synchronously on the calling thread (cache-aware).
   ServeResult EstimateInline(const workload::Query& query, uint64_t fingerprint);
+  /// Attributes `count` responses to `generation`.
+  void CountAnswered(uint64_t generation, uint64_t count);
   /// Dispatcher: drains micro-batches until the batcher closes.
   void DispatchLoop();
   void RunBatch(std::vector<EstimateRequest> batch);
@@ -108,6 +125,17 @@ class EstimationService {
   std::atomic<uint64_t> batched_queries_{0};
   std::atomic<uint64_t> max_batch_observed_{0};
   std::atomic<uint64_t> snapshots_published_{0};
+
+  /// Per-generation response counters, striped by caller thread so the
+  /// cache-hit fast path (which bumps once per request) never serializes
+  /// clients on one lock; batch responses additionally amortize their bump
+  /// over the whole batch. Readers merge all stripes.
+  struct GenerationStripe {
+    mutable std::mutex mu;
+    std::map<uint64_t, uint64_t> answered;
+  };
+  static constexpr size_t kGenerationStripes = 8;  ///< Power of two.
+  mutable std::array<GenerationStripe, kGenerationStripes> generation_stripes_;
 };
 
 }  // namespace uae::serve

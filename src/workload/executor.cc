@@ -28,6 +28,25 @@ std::vector<int> OrderedConstrainedCols(const data::Table& table, const Query& q
   return out;
 }
 
+/// Matching rows of [lo, hi) — the scan kernel shared by the sequential and
+/// the chunk-parallel entry points, so their results are identical by
+/// construction (integer sums commute).
+int64_t CountRange(const data::Table& table, const Query& query,
+                   const std::vector<int>& cols, size_t lo, size_t hi) {
+  int64_t local = 0;
+  for (size_t r = lo; r < hi; ++r) {
+    bool ok = true;
+    for (int c : cols) {
+      if (!query.constraint(c).Matches(table.column(c).code_at(r))) {
+        ok = false;
+        break;
+      }
+    }
+    local += ok ? 1 : 0;
+  }
+  return local;
+}
+
 }  // namespace
 
 int64_t ExecuteCount(const data::Table& table, const Query& query) {
@@ -36,20 +55,34 @@ int64_t ExecuteCount(const data::Table& table, const Query& query) {
   if (cols.empty()) return static_cast<int64_t>(table.num_rows());
   std::atomic<int64_t> total{0};
   util::ParallelFor(0, table.num_rows(), [&](size_t lo, size_t hi) {
-    int64_t local = 0;
-    for (size_t r = lo; r < hi; ++r) {
-      bool ok = true;
-      for (int c : cols) {
-        if (!query.constraint(c).Matches(table.column(c).code_at(r))) {
-          ok = false;
-          break;
-        }
-      }
-      local += ok ? 1 : 0;
-    }
-    total.fetch_add(local, std::memory_order_relaxed);
+    total.fetch_add(CountRange(table, query, cols, lo, hi),
+                    std::memory_order_relaxed);
   });
   return total.load();
+}
+
+int64_t ExecuteCountSequential(const data::Table& table, const Query& query) {
+  UAE_CHECK_EQ(query.num_cols(), table.num_cols());
+  std::vector<int> cols = OrderedConstrainedCols(table, query);
+  if (cols.empty()) return static_cast<int64_t>(table.num_rows());
+  return CountRange(table, query, cols, 0, table.num_rows());
+}
+
+std::vector<int64_t> ExecuteCounts(const data::Table& table,
+                                   std::span<const Query> queries) {
+  std::vector<int64_t> counts(queries.size());
+  // One parallel grain per query: inter-query parallelism beats splitting the
+  // row range when many queries are labeled at once, and each worker's scan
+  // stays a cache-friendly sequential pass.
+  util::ParallelFor(
+      0, queries.size(),
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          counts[i] = ExecuteCountSequential(table, queries[i]);
+        }
+      },
+      /*min_parallel_size=*/2);
+  return counts;
 }
 
 double ExecuteWeightedCount(const data::Table& table, const Query& query,

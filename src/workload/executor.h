@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "data/table.h"
@@ -11,9 +12,21 @@
 
 namespace uae::workload {
 
-/// Number of rows of `table` matching `query`. Parallel chunked scan;
-/// constrained columns are evaluated most-selective-first.
+/// Number of rows of `table` matching `query`. Parallel chunked scan
+/// (util::ParallelFor over row blocks); constrained columns are evaluated
+/// most-selective-first. Counts are integers, so the result is exactly equal
+/// to the sequential scan for any chunking/thread count.
 int64_t ExecuteCount(const data::Table& table, const Query& query);
+
+/// Single-threaded reference scan — the parity oracle ExecuteCount is tested
+/// against, and the per-query kernel of the batched ExecuteCounts below.
+int64_t ExecuteCountSequential(const data::Table& table, const Query& query);
+
+/// Batched ground-truth labeling: counts[i] == ExecuteCount(table, queries[i]).
+/// Parallelizes across queries (each worker scans its queries sequentially) —
+/// the hot path when the online feedback loop labels a drained mini-workload.
+std::vector<int64_t> ExecuteCounts(const data::Table& table,
+                                   std::span<const Query> queries);
 
 /// Weighted count: sum over matching rows of prod_i 1/(code(c_i)+1) for each
 /// column index in `inverse_weight_cols` — the downscaling used for join

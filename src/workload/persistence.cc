@@ -30,6 +30,15 @@ util::Result<int64_t> ParseInt(const std::string& s) {
   }
   return v;
 }
+
+util::Result<double> ParseDouble(const std::string& s) {
+  double v = 0.0;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || p != s.data() + s.size()) {
+    return util::Status::InvalidArgument("bad double: " + s);
+  }
+  return v;
+}
 }  // namespace
 
 util::Status SaveWorkload(const Workload& workload, int num_cols,
@@ -74,8 +83,12 @@ util::Result<Workload> LoadWorkload(const std::string& path, int num_cols) {
       return util::Status::InvalidArgument("workload rows out of order");
     }
     if (row[2] == "card") {
-      current.card = std::stod(row[3]);
-      current.selectivity = std::stod(row[4]);
+      auto card = ParseDouble(row[3]);
+      auto sel = ParseDouble(row[4]);
+      if (!card.ok()) return card.status();
+      if (!sel.ok()) return sel.status();
+      current.card = card.value();
+      current.selectivity = sel.value();
       out.push_back(std::move(current));
       current = LabeledQuery{};
       current.query = Query(num_cols);

@@ -1,8 +1,10 @@
 #include "workload/query.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "util/common.h"
+#include "util/rng.h"
 
 namespace uae::workload {
 
@@ -220,6 +222,45 @@ uint64_t Query::Fingerprint() const {
     for (int32_t v : c.in_codes) mix(static_cast<uint64_t>(static_cast<int64_t>(v)));
   }
   return h;
+}
+
+Workload MakeLabeledWorkload(std::span<const Query> queries,
+                             std::span<const double> cards, size_t num_rows) {
+  UAE_CHECK_EQ(queries.size(), cards.size());
+  Workload out;
+  out.reserve(queries.size());
+  double rows = static_cast<double>(std::max<size_t>(1, num_rows));
+  for (size_t i = 0; i < queries.size(); ++i) {
+    out.push_back({queries[i], cards[i], cards[i] / rows});
+  }
+  return out;
+}
+
+void SplitWorkload(const Workload& all, double holdout_fraction, uint64_t seed,
+                   Workload* train, Workload* holdout) {
+  UAE_CHECK(train != nullptr && holdout != nullptr);
+  UAE_CHECK(holdout_fraction >= 0.0 && holdout_fraction <= 1.0);
+  train->clear();
+  holdout->clear();
+  std::vector<size_t> order(all.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  util::Rng rng(seed);
+  rng.Shuffle(&order);
+  size_t holdout_count = static_cast<size_t>(
+      holdout_fraction * static_cast<double>(all.size()));
+  // A positive fraction means the caller wants a real holdout: round up to at
+  // least one query, but never take the whole workload unless asked to.
+  if (holdout_fraction > 0.0 && holdout_count == 0 && all.size() >= 2) {
+    holdout_count = 1;
+  }
+  if (holdout_fraction < 1.0 && holdout_count == all.size() && !all.empty()) {
+    holdout_count = all.size() - 1;
+  }
+  holdout->reserve(holdout_count);
+  train->reserve(all.size() - holdout_count);
+  for (size_t i = 0; i < order.size(); ++i) {
+    (i < holdout_count ? holdout : train)->push_back(all[order[i]]);
+  }
 }
 
 std::string Query::ToString(const data::Table& table) const {

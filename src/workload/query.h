@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -91,6 +92,19 @@ struct LabeledQuery {
 };
 
 using Workload = std::vector<LabeledQuery>;
+
+/// Builds a labeled workload from parallel (query, true cardinality) arrays —
+/// the feedback-buffer -> Workload conversion of the online adaptation loop.
+/// Selectivities are derived from `num_rows` (the table's row count).
+Workload MakeLabeledWorkload(std::span<const Query> queries,
+                             std::span<const double> cards, size_t num_rows);
+
+/// Deterministic seeded split into a train slice and a held-out slice.
+/// `holdout_fraction` of the (shuffled) queries land in `holdout`, the rest in
+/// `train`; when the fraction is positive and there are >= 2 queries, both
+/// sides are guaranteed non-empty.
+void SplitWorkload(const Workload& all, double holdout_fraction, uint64_t seed,
+                   Workload* train, Workload* holdout);
 
 /// Cardinality of a *disjunction* of conjunctive queries via the
 /// inclusion-exclusion principle (§3: "the estimator can also support

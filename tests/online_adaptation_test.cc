@@ -1,0 +1,192 @@
+// End-to-end closed loop (the acceptance scenario): a data-only model serves
+// traffic, the workload shifts to a narrow region, ground-truth feedback
+// flows back, the drift monitor fires, the controller fine-tunes a clone and
+// hot-swaps it — and median q-error on the shifted region improves >= 2x over
+// the stale model. Fixed seeds; all interleavings are handshake-gated so the
+// test is deterministic on a 1-core box and under TSan.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "core/uae.h"
+#include "data/synthetic.h"
+#include "online/controller.h"
+#include "serve/service.h"
+#include "util/quantiles.h"
+#include "workload/executor.h"
+#include "workload/generator.h"
+#include "workload/metrics.h"
+
+namespace uae::online {
+namespace {
+
+constexpr uint64_t kSeed = 7;
+
+struct Scenario {
+  data::Table table;
+  std::shared_ptr<core::Uae> model;   ///< Data-only trained; goes stale.
+  std::vector<workload::Query> warm;  ///< In-distribution traffic.
+  std::vector<workload::Query> shift_stream;  ///< Shifted feedback traffic.
+  std::vector<int64_t> shift_truths;
+  workload::Workload shifted_test;    ///< Held-out shifted evaluation set.
+
+  Scenario() : table(data::SyntheticDmv(5000, 3)) {
+    core::UaeConfig config;
+    config.hidden = 32;
+    config.ps_samples = 128;
+    config.seed = kSeed;
+    model = std::make_shared<core::Uae>(table, config);
+    model->TrainDataEpochs(1);
+
+    workload::GeneratorConfig in_dist;
+    workload::QueryGenerator warm_gen(table, in_dist, kSeed + 11);
+    for (int i = 0; i < 64; ++i) warm.push_back(warm_gen.Generate());
+
+    // The shift: traffic concentrates on a narrow band of the bounded column
+    // with mid-range cardinalities (see bench/online_adaptation.cc).
+    workload::GeneratorConfig shifted;
+    shifted.center_min = 0.7;
+    shifted.center_max = 0.9;
+    shifted.min_filters = 1;
+    shifted.max_filters = 2;
+    shifted.target_volume = 0.1;
+    std::unordered_set<uint64_t> seen;
+    workload::QueryGenerator shift_gen(table, shifted, kSeed + 23);
+    for (int i = 0; i < 160; ++i) {
+      shift_stream.push_back(shift_gen.Generate());
+      seen.insert(shift_stream.back().Fingerprint());
+    }
+    shift_truths = workload::ExecuteCounts(table, shift_stream);
+    workload::QueryGenerator test_gen(table, shifted, kSeed + 31);
+    shifted_test = test_gen.GenerateLabeled(40, &seen);
+  }
+};
+
+Scenario& Shared() {
+  static Scenario* s = new Scenario();
+  return *s;
+}
+
+DriftConfig MonitorConfig() {
+  return {.window = 512, .min_samples = 48, .median_threshold = 2.0};
+}
+
+AdaptationConfig ControllerConfig() {
+  AdaptationConfig cfg;
+  cfg.finetune_steps = 160;
+  cfg.min_feedback = 48;
+  cfg.holdout_fraction = 0.25;
+  cfg.split_seed = kSeed;
+  return cfg;
+}
+
+void Feed(serve::EstimationService& service, AdaptationController& controller,
+          const std::vector<workload::Query>& queries,
+          const std::vector<int64_t>& truths) {
+  for (size_t i = 0; i < queries.size(); ++i) {
+    serve::ServeResult res = service.Estimate(queries[i]);
+    controller.OnFeedback(queries[i], res, static_cast<double>(truths[i]));
+  }
+}
+
+double MedianQError(const core::Uae& model, const workload::Workload& test) {
+  std::vector<double> errors = workload::EvaluateQErrorsBatched(
+      test, [&](std::span<const workload::Query> qs) {
+        return model.EstimateCards(qs);
+      });
+  return util::Quantile(std::move(errors), 0.5);
+}
+
+TEST(OnlineAdaptationE2ETest, DriftTriggeredFinetuneRecoversAccuracy) {
+  Scenario& s = Shared();
+  serve::EstimationService service(s.model);
+  FeedbackCollector collector({.capacity = 1024, .seed = kSeed});
+  DriftMonitor monitor(MonitorConfig());
+  AdaptationController controller(&service, &collector, &monitor,
+                                  ControllerConfig());
+
+  // Phase 1: in-distribution traffic — the monitor must stay quiet.
+  std::vector<int64_t> warm_truths = workload::ExecuteCounts(s.table, s.warm);
+  Feed(service, controller, s.warm, warm_truths);
+  EXPECT_FALSE(monitor.Check().fired);
+  EXPECT_EQ(controller.AdaptIfDrifted().outcome, AdaptOutcome::kSkippedNoDrift);
+
+  // Phase 2: the shift. Served estimates degrade; the monitor notices.
+  Feed(service, controller, s.shift_stream, s.shift_truths);
+  DriftReport report = monitor.Check();
+  EXPECT_TRUE(report.fired);
+  EXPECT_EQ(report.generation, 1u);
+  EXPECT_GT(report.median, 2.0);
+
+  double stale_median = MedianQError(*s.model, s.shifted_test);
+
+  // Phase 3: closed-loop adaptation — fine-tune, guard, hot-swap.
+  AdaptationResult result = controller.AdaptIfDrifted();
+  ASSERT_EQ(result.outcome, AdaptOutcome::kPublished);
+  EXPECT_EQ(result.generation, 2u);
+  EXPECT_EQ(service.CurrentGeneration(), 2u);
+  EXPECT_LT(result.candidate_median, result.incumbent_median);
+
+  // The acceptance bar: >= 2x median q-error improvement on the shifted
+  // region (measured ~3x on the dev box; the margin absorbs cross-ISA
+  // training-trajectory differences).
+  std::shared_ptr<const serve::ModelSnapshot> snap = service.CurrentSnapshot();
+  double adapted_median = MedianQError(*snap->model, s.shifted_test);
+  EXPECT_LE(adapted_median * 2.0, stale_median)
+      << "stale " << stale_median << " vs adapted " << adapted_median;
+
+  // Served answers now come from the adapted snapshot, bit-identical to it.
+  for (int i = 0; i < 4; ++i) {
+    serve::ServeResult res = service.Estimate(s.shifted_test[static_cast<size_t>(i)].query);
+    EXPECT_EQ(res.generation, 2u);
+    EXPECT_DOUBLE_EQ(res.card, snap->model->EstimateCard(
+                                   s.shifted_test[static_cast<size_t>(i)].query));
+  }
+
+  // Per-generation accounting covers every response.
+  uint64_t answered = 0;
+  for (const auto& [gen, count] : service.AnsweredByGeneration()) answered += count;
+  EXPECT_EQ(answered, service.Stats().requests);
+  EXPECT_EQ(service.AnsweredForGeneration(1),
+            static_cast<uint64_t>(s.warm.size() + s.shift_stream.size()));
+}
+
+TEST(OnlineAdaptationE2ETest, BackgroundControllerAdaptsAutonomously) {
+  Scenario& s = Shared();
+  serve::EstimationService service(s.model);
+  FeedbackCollector collector({.capacity = 1024, .seed = kSeed});
+  DriftMonitor monitor(MonitorConfig());
+  AdaptationConfig cfg = ControllerConfig();
+  cfg.period_ms = 5;
+  AdaptationController controller(&service, &collector, &monitor, cfg);
+
+  // All feedback lands before the poll thread starts, so the drained
+  // mini-workload (and hence the published model) is deterministic; the
+  // background thread only decides *when*, not *what*.
+  Feed(service, controller, s.shift_stream, s.shift_truths);
+  ASSERT_TRUE(monitor.Check().fired);
+  double stale_median = MedianQError(*s.model, s.shifted_test);
+
+  controller.Start();
+  EXPECT_TRUE(controller.running());
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::minutes(5);
+  while (service.CurrentGeneration() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  controller.Stop();
+  EXPECT_FALSE(controller.running());
+
+  ASSERT_EQ(service.CurrentGeneration(), 2u) << "controller never adapted";
+  EXPECT_EQ(controller.Stats().published, 1u);
+  double adapted_median =
+      MedianQError(*service.CurrentSnapshot()->model, s.shifted_test);
+  EXPECT_LE(adapted_median * 2.0, stale_median);
+}
+
+}  // namespace
+}  // namespace uae::online

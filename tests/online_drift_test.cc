@@ -1,0 +1,88 @@
+// online/drift: rolling per-generation q-error quantiles and the drift
+// trigger — min-sample gating, threshold logic, generation separation, and
+// window aging.
+#include <gtest/gtest.h>
+
+#include "online/drift.h"
+
+namespace uae::online {
+namespace {
+
+TEST(DriftMonitorTest, QuietBelowMinSamples) {
+  DriftMonitor monitor({.window = 64, .min_samples = 10, .median_threshold = 2.0});
+  for (int i = 0; i < 9; ++i) monitor.Observe(1, 100.0);
+  DriftReport report = monitor.Check();
+  EXPECT_FALSE(report.fired);  // Degraded but not yet statistically backed.
+  EXPECT_EQ(report.samples, 9u);
+  EXPECT_DOUBLE_EQ(report.median, 100.0);
+  monitor.Observe(1, 100.0);
+  EXPECT_TRUE(monitor.Check().fired);
+}
+
+TEST(DriftMonitorTest, QuietOnHealthyTraffic) {
+  DriftMonitor monitor({.window = 64, .min_samples = 8, .median_threshold = 3.0});
+  for (int i = 0; i < 50; ++i) monitor.Observe(1, 1.0 + 0.01 * i);
+  DriftReport report = monitor.Check();
+  EXPECT_FALSE(report.fired);
+  EXPECT_LT(report.median, 3.0);
+  EXPECT_EQ(monitor.TotalObserved(), 50u);
+}
+
+TEST(DriftMonitorTest, FiresOnDegradedMedian) {
+  DriftMonitor monitor({.window = 64, .min_samples = 8, .median_threshold = 3.0});
+  for (int i = 0; i < 20; ++i) monitor.Observe(4, 8.0);
+  DriftReport report = monitor.Check();
+  EXPECT_TRUE(report.fired);
+  EXPECT_EQ(report.generation, 4u);
+  EXPECT_DOUBLE_EQ(report.median, 8.0);
+}
+
+TEST(DriftMonitorTest, P95SecondaryTrigger) {
+  // Median is healthy; the tail is not. Only fires when p95 gating is on.
+  DriftConfig median_only{.window = 64, .min_samples = 10, .median_threshold = 3.0};
+  DriftConfig with_p95 = median_only;
+  with_p95.p95_threshold = 10.0;
+  DriftMonitor a(median_only), b(with_p95);
+  for (int i = 0; i < 20; ++i) {
+    double err = (i % 10 == 0) ? 100.0 : 1.1;  // 10% catastrophic tail.
+    a.Observe(1, err);
+    b.Observe(1, err);
+  }
+  EXPECT_FALSE(a.Check().fired);
+  EXPECT_TRUE(b.Check().fired);
+  EXPECT_GT(b.Check().p95, 10.0);
+}
+
+TEST(DriftMonitorTest, EvaluatesNewestGenerationOnly) {
+  DriftMonitor monitor({.window = 128, .min_samples = 8, .median_threshold = 3.0});
+  // Generation 1 went bad ...
+  for (int i = 0; i < 30; ++i) monitor.Observe(1, 50.0);
+  EXPECT_TRUE(monitor.Check().fired);
+  // ... and was replaced; the new snapshot serves well. The old generation's
+  // tail must not keep the alarm ringing.
+  for (int i = 0; i < 10; ++i) monitor.Observe(2, 1.2);
+  DriftReport report = monitor.Check();
+  EXPECT_EQ(report.generation, 2u);
+  EXPECT_EQ(report.samples, 10u);
+  EXPECT_FALSE(report.fired);
+  // Both generations remain individually inspectable while in the window.
+  EXPECT_DOUBLE_EQ(monitor.SummaryForGeneration(1).median, 50.0);
+  EXPECT_DOUBLE_EQ(monitor.SummaryForGeneration(2).median, 1.2);
+  EXPECT_EQ(monitor.SummaryForGeneration(3).count, 0u);
+}
+
+TEST(DriftMonitorTest, WindowAgesOutOldSamples) {
+  DriftMonitor monitor({.window = 4, .min_samples = 2, .median_threshold = 3.0});
+  for (int i = 0; i < 4; ++i) monitor.Observe(1, 100.0);
+  EXPECT_TRUE(monitor.Check().fired);
+  // Four healthy samples push every degraded one out of the window.
+  for (int i = 0; i < 4; ++i) monitor.Observe(1, 1.0);
+  DriftReport report = monitor.Check();
+  EXPECT_FALSE(report.fired);
+  EXPECT_DOUBLE_EQ(report.median, 1.0);
+  EXPECT_EQ(report.samples, 4u);
+  EXPECT_EQ(monitor.TotalObserved(), 8u);
+}
+
+}  // namespace
+}  // namespace uae::online

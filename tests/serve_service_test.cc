@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -154,6 +155,81 @@ TEST(ServeServiceTest, TinyQueueBackpressureStillCorrect) {
   cfg.max_wait_us = 50;
   EstimationService service(f.uae, cfg);
   HammerAndCheck(service, f, /*num_threads=*/4, /*rounds=*/1);
+}
+
+// ---- Stats under adaptation -----------------------------------------------
+
+TEST(ServeServiceTest, PerGenerationCountersReconcileAcrossSwap) {
+  Fixture& f = Shared();
+  EstimationService service(f.uae);
+  // Client-side tally of which generation answered each request; the service's
+  // per-generation counters must agree exactly.
+  std::map<uint64_t, uint64_t> client_tally;
+  for (size_t i = 0; i < 12; ++i) {
+    client_tally[service.Estimate(f.queries[i]).generation]++;
+  }
+  service.PublishSnapshot(std::shared_ptr<const core::Uae>(f.uae->Clone()));
+  for (size_t i = 0; i < f.queries.size(); ++i) {
+    client_tally[service.Estimate(f.queries[i]).generation]++;
+  }
+  std::map<uint64_t, uint64_t> service_tally;
+  for (const auto& [gen, count] : service.AnsweredByGeneration()) {
+    service_tally[gen] = count;
+  }
+  EXPECT_EQ(service_tally, client_tally);
+  EXPECT_EQ(service.AnsweredForGeneration(1), 12u);
+  EXPECT_EQ(service.AnsweredForGeneration(2), f.queries.size());
+  EXPECT_EQ(service.AnsweredForGeneration(99), 0u);
+}
+
+TEST(ServeServiceTest, ConcurrentPerGenerationCountersCoverEveryRequest) {
+  Fixture& f = Shared();
+  EstimationService service(f.uae);
+  constexpr int kThreads = 6, kRounds = 2;
+  std::atomic<uint64_t> client_total{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        for (const auto& q : f.queries) {
+          (void)service.Estimate(q);
+          client_total.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  // Every response is attributed to exactly one generation.
+  uint64_t answered = 0;
+  for (const auto& [gen, count] : service.AnsweredByGeneration()) answered += count;
+  EXPECT_EQ(answered, client_total.load());
+  EXPECT_EQ(answered, service.Stats().requests);
+}
+
+TEST(ServeServiceTest, CacheStatsReconcileWithServiceCounters) {
+  Fixture& f = Shared();
+  ServiceConfig cfg;
+  cfg.cache.capacity = 8;  // Small enough to force evictions over 24 queries.
+  cfg.cache.shards = 1;
+  EstimationService service(f.uae, cfg);
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& q : f.queries) (void)service.Estimate(q);
+  }
+  ServiceStats stats = service.Stats();
+  ResultCacheStats cache = service.CacheStats();
+  // Every service-level cache hit is a cache-level hit; the cache may see
+  // extra lookups (batch-side re-checks), all accounted as misses.
+  EXPECT_EQ(stats.cache_hits, cache.hits);
+  EXPECT_GE(cache.misses, stats.requests - stats.cache_hits);
+  // Model evaluations insert; insertions beyond capacity evict.
+  EXPECT_GE(cache.insertions, cache.evictions);
+  EXPECT_GT(cache.evictions, 0u);
+  EXPECT_LE(service.CacheStats().insertions - service.CacheStats().evictions,
+            cfg.cache.capacity);
+  // Eager generation eviction is visible through the same counter.
+  uint64_t before = service.CacheStats().evictions;
+  service.PublishSnapshot(std::shared_ptr<const core::Uae>(f.uae->Clone()));
+  EXPECT_GT(service.CacheStats().evictions, before);
 }
 
 // ---- MicroBatcher unit coverage -------------------------------------------

@@ -39,6 +39,43 @@ TEST(ExecutorTest, InAndNeqConstraints) {
   EXPECT_EQ(ExecuteCount(t, q), NaiveCount(t, q));
 }
 
+// The chunk-parallel scan must be *exactly* equal to the single-threaded
+// reference — integer counts commute, so any chunking/thread count yields the
+// identical result. This is the labeling hot path of the feedback loop.
+TEST(ExecutorTest, ParallelScanEqualsSequentialReference) {
+  data::Table t = data::SyntheticDmv(20000, 7);  // Big enough to chunk.
+  GeneratorConfig gc;
+  gc.min_filters = 1;
+  gc.max_filters = 4;
+  QueryGenerator gen(t, gc, 13);
+  for (int i = 0; i < 30; ++i) {
+    Query q = gen.Generate();
+    EXPECT_EQ(ExecuteCount(t, q), ExecuteCountSequential(t, q)) << "query " << i;
+  }
+  // Unconstrained + IN/!= kinds go through the same kernel.
+  Query all(t.num_cols());
+  EXPECT_EQ(ExecuteCountSequential(t, all), static_cast<int64_t>(t.num_rows()));
+  Query mixed(t.num_cols());
+  mixed.AddPredicate({0, Op::kIn, 0, {1, 3, 9}}, t.column(0).domain());
+  mixed.AddPredicate({2, Op::kNeq, 2, {}}, t.column(2).domain());
+  EXPECT_EQ(ExecuteCount(t, mixed), ExecuteCountSequential(t, mixed));
+}
+
+TEST(ExecutorTest, BatchedCountsMatchPerQueryExecution) {
+  data::Table t = data::SyntheticDmv(4000, 9);
+  GeneratorConfig gc;
+  gc.min_filters = 1;
+  QueryGenerator gen(t, gc, 17);
+  std::vector<Query> queries;
+  for (int i = 0; i < 40; ++i) queries.push_back(gen.Generate());
+  std::vector<int64_t> batched = ExecuteCounts(t, queries);
+  ASSERT_EQ(batched.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batched[i], ExecuteCount(t, queries[i])) << "query " << i;
+  }
+  EXPECT_TRUE(ExecuteCounts(t, {}).empty());
+}
+
 TEST(ExecutorTest, WeightedCount) {
   // Two rows with fanout codes {0 -> weight 1, 3 -> weight 1/4}.
   std::vector<data::Column> cols;

@@ -1,0 +1,174 @@
+// workload/persistence: SaveWorkload/LoadWorkload round-trips (every
+// constraint kind, IN-lists, cardinalities bitwise) and malformed-CSV
+// rejection.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "data/synthetic.h"
+#include "workload/generator.h"
+#include "workload/persistence.h"
+
+namespace uae::workload {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// All four constraint kinds (and an empty IN-list edge) across three
+/// queries, with cardinalities that exercise the %.17g round-trip.
+Workload MixedWorkload(int num_cols) {
+  Workload w;
+  {
+    LabeledQuery lq;
+    lq.query = Query(num_cols);
+    Constraint& range = lq.query.mutable_constraint(0);
+    range.kind = Constraint::Kind::kRange;
+    range.lo = -3;
+    range.hi = 17;
+    Constraint& neq = lq.query.mutable_constraint(1);
+    neq.kind = Constraint::Kind::kNotEqual;
+    neq.neq = 5;
+    lq.card = 12345.0;
+    lq.selectivity = 12345.0 / 77777.0;  // Not exactly representable.
+    w.push_back(lq);
+  }
+  {
+    LabeledQuery lq;
+    lq.query = Query(num_cols);
+    Constraint& in = lq.query.mutable_constraint(2);
+    in.kind = Constraint::Kind::kIn;
+    in.in_codes = {0, 7, 19, 2047};
+    lq.card = 1.0 / 3.0;  // Join cards are weighted doubles.
+    lq.selectivity = 1e-9;
+    w.push_back(lq);
+  }
+  {
+    LabeledQuery lq;  // Fully unconstrained query, zero cardinality.
+    lq.query = Query(num_cols);
+    lq.card = 0.0;
+    lq.selectivity = 0.0;
+    w.push_back(lq);
+  }
+  return w;
+}
+
+void ExpectSameWorkload(const Workload& a, const Workload& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("query " + std::to_string(i));
+    // Bitwise: %.17g round-trips doubles exactly.
+    EXPECT_EQ(a[i].card, b[i].card);
+    EXPECT_EQ(a[i].selectivity, b[i].selectivity);
+    ASSERT_EQ(a[i].query.num_cols(), b[i].query.num_cols());
+    EXPECT_EQ(a[i].query.Fingerprint(), b[i].query.Fingerprint());
+    for (int c = 0; c < a[i].query.num_cols(); ++c) {
+      const Constraint& ca = a[i].query.constraint(c);
+      const Constraint& cb = b[i].query.constraint(c);
+      EXPECT_EQ(ca.kind, cb.kind);
+      if (ca.kind == Constraint::Kind::kRange) {
+        EXPECT_EQ(ca.lo, cb.lo);
+        EXPECT_EQ(ca.hi, cb.hi);
+      }
+      if (ca.kind == Constraint::Kind::kNotEqual) {
+        EXPECT_EQ(ca.neq, cb.neq);
+      }
+      if (ca.kind == Constraint::Kind::kIn) {
+        EXPECT_EQ(ca.in_codes, cb.in_codes);
+      }
+    }
+  }
+}
+
+TEST(WorkloadPersistenceTest, RoundTripAllConstraintKinds) {
+  const std::string path = TempPath("uae_workload_mixed.csv");
+  Workload original = MixedWorkload(4);
+  ASSERT_TRUE(SaveWorkload(original, 4, path).ok());
+  auto loaded = LoadWorkload(path, 4);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  ExpectSameWorkload(original, loaded.value());
+  std::filesystem::remove(path);
+}
+
+TEST(WorkloadPersistenceTest, RoundTripGeneratedWorkload) {
+  const std::string path = TempPath("uae_workload_generated.csv");
+  data::Table t = data::SyntheticDmv(2000, 17);
+  GeneratorConfig gc;
+  gc.min_filters = 1;
+  QueryGenerator gen(t, gc, 29);
+  Workload original = gen.GenerateLabeled(40, nullptr);
+  ASSERT_TRUE(SaveWorkload(original, t.num_cols(), path).ok());
+  auto loaded = LoadWorkload(path, t.num_cols());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  ExpectSameWorkload(original, loaded.value());
+  std::filesystem::remove(path);
+}
+
+TEST(WorkloadPersistenceTest, SaveRejectsColumnCountMismatch) {
+  const std::string path = TempPath("uae_workload_mismatch.csv");
+  Workload w = MixedWorkload(4);
+  EXPECT_FALSE(SaveWorkload(w, 6, path).ok());
+}
+
+class MalformedCsvTest : public ::testing::Test {
+ protected:
+  /// Writes `body` under the canonical header and loads it with num_cols=4.
+  util::Result<Workload> LoadBody(const std::string& body) {
+    path_ = TempPath("uae_workload_malformed.csv");
+    std::ofstream out(path_);
+    out << "query_id,col,kind,lo,hi,neq,in_codes\n" << body;
+    out.close();
+    return LoadWorkload(path_, 4);
+  }
+  void TearDown() override {
+    if (!path_.empty()) std::filesystem::remove(path_);
+  }
+  std::string path_;
+};
+
+TEST_F(MalformedCsvTest, MissingFileFails) {
+  EXPECT_FALSE(LoadWorkload(TempPath("uae_no_such_file.csv"), 4).ok());
+}
+
+TEST_F(MalformedCsvTest, WrongFieldCountRejected) {
+  EXPECT_FALSE(LoadBody("0,0,range,1\n").ok());
+}
+
+TEST_F(MalformedCsvTest, BadIntegerRejected) {
+  EXPECT_FALSE(LoadBody("0,zero,range,1,2,,\n").ok());
+  EXPECT_FALSE(LoadBody("0,0,range,low,2,,\n").ok());
+  EXPECT_FALSE(LoadBody("0,0,neq,,,x7,\n").ok());
+  EXPECT_FALSE(LoadBody("0,0,in,,,,1|two|3\n").ok());
+}
+
+TEST_F(MalformedCsvTest, BadCardinalityRejected) {
+  EXPECT_FALSE(LoadBody("0,-1,card,ten,0.1,,\n").ok());
+  EXPECT_FALSE(LoadBody("0,-1,card,10,many,,\n").ok());
+}
+
+TEST_F(MalformedCsvTest, UnknownKindRejected) {
+  EXPECT_FALSE(LoadBody("0,0,between,1,2,,\n").ok());
+}
+
+TEST_F(MalformedCsvTest, ColumnOutOfRangeRejected) {
+  EXPECT_FALSE(LoadBody("0,9,range,1,2,,\n").ok());
+  EXPECT_FALSE(LoadBody("0,-2,range,1,2,,\n").ok());
+}
+
+TEST_F(MalformedCsvTest, OutOfOrderQueryIdsRejected) {
+  EXPECT_FALSE(LoadBody("1,0,range,1,2,,\n").ok());
+}
+
+TEST_F(MalformedCsvTest, ValidBodyStillLoads) {
+  auto loaded = LoadBody("0,0,range,1,2,,\n0,-1,card,10,0.005,,\n");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  ASSERT_EQ(loaded.value().size(), 1u);
+  EXPECT_EQ(loaded.value()[0].card, 10.0);
+}
+
+}  // namespace
+}  // namespace uae::workload

@@ -2,6 +2,9 @@
 // fingerprints.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "data/synthetic.h"
 #include "workload/query.h"
 
@@ -171,6 +174,75 @@ TEST(QueryTest, DisjunctionSkipsEmptyConjunctions) {
     direct += (q1.MatchesRow(t, r) || q2.MatchesRow(t, r)) ? 1 : 0;
   }
   EXPECT_NEAR(est, static_cast<double>(direct), 1e-9);
+}
+
+TEST(WorkloadHelpersTest, MakeLabeledWorkloadDerivesSelectivity) {
+  std::vector<Query> queries(2, Query(3));
+  queries[1].AddPredicate({0, Op::kEq, 2, {}}, 5);
+  std::vector<double> cards = {40.0, 0.5};
+  Workload w = MakeLabeledWorkload(queries, cards, /*num_rows=*/200);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0].card, 40.0);
+  EXPECT_DOUBLE_EQ(w[0].selectivity, 0.2);
+  EXPECT_DOUBLE_EQ(w[1].selectivity, 0.0025);
+  EXPECT_EQ(w[1].query.Fingerprint(), queries[1].Fingerprint());
+}
+
+TEST(WorkloadHelpersTest, SplitWorkloadIsSeededAndExhaustive) {
+  Workload all;
+  for (int i = 0; i < 20; ++i) {
+    LabeledQuery lq;
+    lq.query = Query(1);
+    lq.card = static_cast<double>(i);
+    all.push_back(lq);
+  }
+  Workload train1, holdout1, train2, holdout2;
+  SplitWorkload(all, 0.25, /*seed=*/9, &train1, &holdout1);
+  SplitWorkload(all, 0.25, /*seed=*/9, &train2, &holdout2);
+  EXPECT_EQ(holdout1.size(), 5u);
+  EXPECT_EQ(train1.size(), 15u);
+  // Deterministic: same seed, same split.
+  for (size_t i = 0; i < holdout1.size(); ++i) {
+    EXPECT_EQ(holdout1[i].card, holdout2[i].card);
+  }
+  // Exhaustive partition: every card appears exactly once across both sides.
+  std::vector<double> seen;
+  for (const auto& lq : train1) seen.push_back(lq.card);
+  for (const auto& lq : holdout1) seen.push_back(lq.card);
+  std::sort(seen.begin(), seen.end());
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(seen[static_cast<size_t>(i)], i);
+  // A different seed shuffles differently.
+  Workload train3, holdout3;
+  SplitWorkload(all, 0.25, /*seed=*/10, &train3, &holdout3);
+  bool same = true;
+  for (size_t i = 0; i < holdout1.size(); ++i) {
+    same = same && holdout1[i].card == holdout3[i].card;
+  }
+  EXPECT_FALSE(same);
+}
+
+TEST(WorkloadHelpersTest, SplitWorkloadEdgeCases) {
+  Workload two;
+  for (int i = 0; i < 2; ++i) {
+    LabeledQuery lq;
+    lq.query = Query(1);
+    two.push_back(lq);
+  }
+  Workload train, holdout;
+  // A positive fraction guarantees a non-empty holdout (and train) when
+  // there are at least two queries — the regression guard needs both sides.
+  SplitWorkload(two, 0.01, 1, &train, &holdout);
+  EXPECT_EQ(train.size(), 1u);
+  EXPECT_EQ(holdout.size(), 1u);
+  SplitWorkload(two, 0.99, 1, &train, &holdout);
+  EXPECT_EQ(train.size(), 1u);
+  EXPECT_EQ(holdout.size(), 1u);
+  SplitWorkload(two, 0.0, 1, &train, &holdout);
+  EXPECT_EQ(train.size(), 2u);
+  EXPECT_TRUE(holdout.empty());
+  SplitWorkload({}, 0.5, 1, &train, &holdout);
+  EXPECT_TRUE(train.empty());
+  EXPECT_TRUE(holdout.empty());
 }
 
 TEST(QueryTest, MatchesRowAndToString) {
