@@ -85,19 +85,51 @@ data::Table BuildDataset(const std::string& name, size_t rows, uint64_t seed) {
   return data::TinyCorrelated(10, 1);
 }
 
+PreparedWorkload PrepareWorkload(const workload::Workload& workload) {
+  PreparedWorkload prep;
+  prep.queries.reserve(workload.size());
+  prep.true_cards.reserve(workload.size());
+  for (const auto& lq : workload) {
+    prep.queries.push_back(lq.query);
+    prep.true_cards.push_back(lq.card);
+  }
+  return prep;
+}
+
+namespace {
+
+util::ErrorSummary SummarizePrepared(const estimators::CardinalityEstimator& est,
+                                     const PreparedWorkload& prep) {
+  std::vector<double> cards = est.EstimateCards(prep.queries);
+  UAE_CHECK_EQ(cards.size(), prep.true_cards.size());
+  std::vector<double> errors;
+  errors.reserve(cards.size());
+  for (size_t i = 0; i < cards.size(); ++i) {
+    errors.push_back(workload::QError(cards[i], prep.true_cards[i]));
+  }
+  return util::Summarize(errors);
+}
+
+}  // namespace
+
+ResultRow EvaluateEstimator(const std::string& name,
+                            const estimators::CardinalityEstimator& est,
+                            const PreparedWorkload& test_in,
+                            const PreparedWorkload& test_random) {
+  ResultRow row;
+  row.name = name;
+  row.size_bytes = est.SizeBytes();
+  row.in_workload = SummarizePrepared(est, test_in);
+  row.random = SummarizePrepared(est, test_random);
+  return row;
+}
+
 ResultRow EvaluateEstimator(const std::string& name,
                             const estimators::CardinalityEstimator& est,
                             const workload::Workload& test_in,
                             const workload::Workload& test_random) {
-  ResultRow row;
-  row.name = name;
-  row.size_bytes = est.SizeBytes();
-  auto batch = [&](std::span<const workload::Query> qs) {
-    return est.EstimateCards(qs);
-  };
-  row.in_workload = util::Summarize(workload::EvaluateQErrorsBatched(test_in, batch));
-  row.random = util::Summarize(workload::EvaluateQErrorsBatched(test_random, batch));
-  return row;
+  return EvaluateEstimator(name, est, PrepareWorkload(test_in),
+                           PrepareWorkload(test_random));
 }
 
 void PrintResultTable(const std::string& title, const std::vector<ResultRow>& rows) {
@@ -123,6 +155,9 @@ std::vector<ResultRow> RunSingleTableComparison(const std::string& dataset,
   data::Table table = BuildDataset(dataset, config.rows, config.seed);
   workload::TrainTestWorkloads w = workload::GenerateTrainTest(
       table, config.train_queries, config.test_queries, config.seed + 1);
+  // Hoisted once for all estimator rows (see PreparedWorkload).
+  PreparedWorkload prep_in = PrepareWorkload(w.test_in_workload);
+  PreparedWorkload prep_random = PrepareWorkload(w.test_random);
   std::printf("[setup] workloads ready\n");
   std::fflush(stdout);
 
@@ -134,7 +169,7 @@ std::vector<ResultRow> RunSingleTableComparison(const std::string& dataset,
     util::Stopwatch t;
     estimators::LrEstimator lr(table);
     lr.Train(w.train);
-    auto row = EvaluateEstimator("LR", lr, w.test_in_workload, w.test_random);
+    auto row = EvaluateEstimator("LR", lr, prep_in, prep_random);
     row.train_seconds = t.ElapsedSeconds();
     rows.push_back(row);
   }
@@ -144,7 +179,7 @@ std::vector<ResultRow> RunSingleTableComparison(const std::string& dataset,
     mc.seed = config.seed;
     estimators::MscnEstimator mscn(table, mc);
     mscn.Train(w.train);
-    auto row = EvaluateEstimator("MSCN-base", mscn, w.test_in_workload, w.test_random);
+    auto row = EvaluateEstimator("MSCN-base", mscn, prep_in, prep_random);
     row.train_seconds = t.ElapsedSeconds();
     rows.push_back(row);
   }
@@ -157,7 +192,7 @@ std::vector<ResultRow> RunSingleTableComparison(const std::string& dataset,
                                      config.query_batch);
     uae_q.TrainQuerySteps(w.train, steps);
     estimators::UaeAdapter adapter(&uae_q, "UAE-Q");
-    auto row = EvaluateEstimator("UAE-Q", adapter, w.test_in_workload, w.test_random);
+    auto row = EvaluateEstimator("UAE-Q", adapter, prep_in, prep_random);
     row.train_seconds = t.ElapsedSeconds();
     rows.push_back(row);
     std::printf("[done] UAE-Q (%.0fs)\n", t.ElapsedSeconds());
@@ -176,14 +211,14 @@ std::vector<ResultRow> RunSingleTableComparison(const std::string& dataset,
   {
     util::Stopwatch t;
     estimators::SamplingEstimator sampling(table, sample_frac, config.seed);
-    auto row = EvaluateEstimator("Sampling", sampling, w.test_in_workload, w.test_random);
+    auto row = EvaluateEstimator("Sampling", sampling, prep_in, prep_random);
     row.train_seconds = t.ElapsedSeconds();
     rows.push_back(row);
   }
   {
     util::Stopwatch t;
     estimators::BayesNetEstimator bn(table, 20000, 0.1, config.seed);
-    auto row = EvaluateEstimator("BayesNet", bn, w.test_in_workload, w.test_random);
+    auto row = EvaluateEstimator("BayesNet", bn, prep_in, prep_random);
     row.train_seconds = t.ElapsedSeconds();
     rows.push_back(row);
     std::printf("[done] BayesNet (%.0fs)\n", t.ElapsedSeconds());
@@ -193,7 +228,7 @@ std::vector<ResultRow> RunSingleTableComparison(const std::string& dataset,
   {
     util::Stopwatch t;
     estimators::KdeEstimator kde(table, kde_sample, config.seed);
-    auto row = EvaluateEstimator("KDE", kde, w.test_in_workload, w.test_random);
+    auto row = EvaluateEstimator("KDE", kde, prep_in, prep_random);
     row.train_seconds = t.ElapsedSeconds();
     rows.push_back(row);
   }
@@ -202,7 +237,7 @@ std::vector<ResultRow> RunSingleTableComparison(const std::string& dataset,
     estimators::SpnConfig sc;
     sc.seed = config.seed;
     estimators::SpnEstimator spn(table, sc);
-    auto row = EvaluateEstimator("DeepDB", spn, w.test_in_workload, w.test_random);
+    auto row = EvaluateEstimator("DeepDB", spn, prep_in, prep_random);
     row.train_seconds = t.ElapsedSeconds();
     rows.push_back(row);
     std::printf("[done] DeepDB (%.0fs)\n", t.ElapsedSeconds());
@@ -213,7 +248,7 @@ std::vector<ResultRow> RunSingleTableComparison(const std::string& dataset,
     core::Uae naru(table, uc);
     naru.TrainDataEpochs(config.uae_epochs);
     estimators::UaeAdapter adapter(&naru, "Naru");
-    auto row = EvaluateEstimator("Naru", adapter, w.test_in_workload, w.test_random);
+    auto row = EvaluateEstimator("Naru", adapter, prep_in, prep_random);
     row.train_seconds = t.ElapsedSeconds();
     rows.push_back(row);
     std::printf("[done] Naru (%.0fs)\n", t.ElapsedSeconds());
@@ -227,7 +262,7 @@ std::vector<ResultRow> RunSingleTableComparison(const std::string& dataset,
     mc.seed = config.seed;
     estimators::MscnSamplingEstimator ms(table, 1000, mc);
     ms.Train(w.train);
-    auto row = EvaluateEstimator("MSCN+sampling", ms, w.test_in_workload, w.test_random);
+    auto row = EvaluateEstimator("MSCN+sampling", ms, prep_in, prep_random);
     row.train_seconds = t.ElapsedSeconds();
     rows.push_back(row);
   }
@@ -235,7 +270,7 @@ std::vector<ResultRow> RunSingleTableComparison(const std::string& dataset,
     util::Stopwatch t;
     estimators::FeedbackKdeEstimator fkde(table, kde_sample, config.seed);
     fkde.TuneBandwidths(w.train, /*epochs=*/4);
-    auto row = EvaluateEstimator("Feedback-KDE", fkde, w.test_in_workload, w.test_random);
+    auto row = EvaluateEstimator("Feedback-KDE", fkde, prep_in, prep_random);
     row.train_seconds = t.ElapsedSeconds();
     rows.push_back(row);
     std::printf("[done] Feedback-KDE (%.0fs)\n", t.ElapsedSeconds());
@@ -246,7 +281,7 @@ std::vector<ResultRow> RunSingleTableComparison(const std::string& dataset,
     core::Uae uae(table, uc);
     uae.TrainHybridEpochs(w.train, config.uae_epochs);
     estimators::UaeAdapter adapter(&uae, "UAE");
-    auto row = EvaluateEstimator("UAE", adapter, w.test_in_workload, w.test_random);
+    auto row = EvaluateEstimator("UAE", adapter, prep_in, prep_random);
     row.train_seconds = t.ElapsedSeconds();
     rows.push_back(row);
     std::printf("[done] UAE (%.0fs)\n", t.ElapsedSeconds());

@@ -70,9 +70,30 @@ struct ResultRow {
   double train_seconds = 0.0;
 };
 
-/// Evaluates an estimator object on both test workloads through the batched
-/// EstimateCards path so parallel implementations (UaeAdapter) fan work across
-/// the thread pool.
+/// A test workload with its query and truth columns hoisted out once.
+///
+/// The harness evaluates MANY estimator rows against the SAME few workloads
+/// (11 rows x 2 workloads per table run). The legacy path re-ran the
+/// per-workload evaluation setup — extracting the query column for the
+/// batched estimate call — on every row, even when the workload was reused
+/// across rows and tables. Prepare once, evaluate many.
+struct PreparedWorkload {
+  std::vector<workload::Query> queries;
+  std::vector<double> true_cards;
+};
+PreparedWorkload PrepareWorkload(const workload::Workload& workload);
+
+/// Evaluates an estimator on both prepared test workloads through the batched
+/// EstimateCards path so parallel implementations (UaeAdapter, the sharded
+/// estimator) fan work across the thread pool. Exactly one EstimateCards
+/// batch call per workload; results are identical to the legacy overload.
+ResultRow EvaluateEstimator(const std::string& name,
+                            const estimators::CardinalityEstimator& est,
+                            const PreparedWorkload& test_in,
+                            const PreparedWorkload& test_random);
+
+/// Legacy convenience overload: prepares on the fly (setup re-done per call —
+/// prefer preparing once when evaluating several estimators).
 ResultRow EvaluateEstimator(const std::string& name,
                             const estimators::CardinalityEstimator& est,
                             const workload::Workload& test_in,

@@ -76,7 +76,8 @@ void FeedTraffic(const data::Table& table, serve::EstimationService& service,
   }
 }
 
-double MedianQError(const core::Uae& model, const workload::Workload& test) {
+double MedianQError(const core::ServableModel& model,
+                    const workload::Workload& test) {
   std::vector<double> errors = workload::EvaluateQErrorsBatched(
       test, [&](std::span<const workload::Query> qs) {
         return model.EstimateCards(qs);

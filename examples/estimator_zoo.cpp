@@ -11,6 +11,7 @@
 #include "estimators/mscn.h"
 #include "estimators/sampling.h"
 #include "estimators/spn.h"
+#include "shard/sharded_uae.h"
 #include "workload/generator.h"
 #include "workload/metrics.h"
 
@@ -67,5 +68,13 @@ int main() {
   uae.TrainHybridEpochs(w.train, 2);
   report("UAE", uae.SizeBytes(),
          [&](const workload::Query& q) { return uae.EstimateCard(q); });
+
+  shard::ShardedUaeConfig sharded_cfg;
+  sharded_cfg.base = uc;
+  sharded_cfg.partition.num_shards = 4;
+  shard::ShardedUae sharded(table, sharded_cfg);
+  sharded.TrainDataEpochs(2);
+  report("Sharded-4x", sharded.SizeBytes(),
+         [&](const workload::Query& q) { return sharded.EstimateCard(q); });
   return 0;
 }

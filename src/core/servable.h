@@ -1,0 +1,67 @@
+// ServableModel — the contract between an estimation model and the layers
+// that deploy it (serve/ snapshots, online/ adaptation). A snapshot is any
+// immutable object that can answer cardinality queries; a candidate for
+// hot-swap is any mutable clone that can fine-tune on labeled feedback.
+//
+// Two implementations exist: the monolithic core::Uae (one autoregressive
+// model over one table, the paper's setting) and shard::ShardedUae (one model
+// per horizontal partition with pruned fan-out). The serving and adaptation
+// layers are written against this interface so a sharded deployment hot-swaps
+// and self-repairs exactly like a monolithic one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "workload/query.h"
+
+namespace uae::core {
+
+/// How FineTune() should spend its budget (mirrors the knobs of
+/// online::AdaptationConfig; see §4.5 of the paper).
+struct FineTuneSpec {
+  /// Supervised DPS steps on the feedback workload (UAE-Q refinement).
+  int query_steps = 80;
+  /// When > 0, hybrid L_data + lambda * L_query epochs instead — slower but
+  /// anchored to the data distribution (less forgetting).
+  int hybrid_epochs = 0;
+};
+
+class ServableModel {
+ public:
+  virtual ~ServableModel() = default;
+
+  /// Estimated cardinality of a single-table query. Must be a pure function
+  /// of (model, query): independent of call order, batch composition, and
+  /// thread count, so served results are reproducible bitwise.
+  virtual double EstimateCard(const workload::Query& query) const = 0;
+  /// Batched estimation; element i is bit-identical to EstimateCard(queries[i]).
+  virtual std::vector<double> EstimateCards(
+      std::span<const workload::Query> queries) const = 0;
+
+  virtual size_t SizeBytes() const = 0;
+  /// Rows of the underlying table (feedback selectivities derive from this).
+  virtual size_t num_rows() const = 0;
+  /// The model's construction seed (adaptation controllers mix it into their
+  /// train/holdout split seeds).
+  virtual uint64_t seed() const = 0;
+
+  /// Independent deep copy with bit-identical parameters; fine-tuning the
+  /// clone leaves this model untouched (the hot-swap publish path).
+  virtual std::shared_ptr<ServableModel> CloneServable() const = 0;
+
+  /// Fine-tunes on a labeled feedback workload and returns how many of its
+  /// queries were actually trained on. Implementations route the work: a
+  /// monolithic UAE trains on the whole workload (returns workload.size());
+  /// a sharded model refits only the shards the workload's queries target —
+  /// queries spanning shards are unattributable and dropped, so the return
+  /// value can be less than workload.size(), down to 0 when nothing routed.
+  /// Callers deciding whether to publish the result should treat 0 as "the
+  /// clone is still bit-identical to its source".
+  virtual size_t FineTune(const workload::Workload& workload,
+                          const FineTuneSpec& spec) = 0;
+};
+
+}  // namespace uae::core

@@ -73,6 +73,22 @@ std::unique_ptr<Uae> Uae::Clone() const {
   return std::unique_ptr<Uae>(new Uae(*this));
 }
 
+std::shared_ptr<ServableModel> Uae::CloneServable() const {
+  return std::shared_ptr<ServableModel>(Clone());
+}
+
+size_t Uae::FineTune(const workload::Workload& workload, const FineTuneSpec& spec) {
+  if (workload.empty()) return 0;
+  if (spec.hybrid_epochs > 0) {
+    TrainHybridEpochs(workload, spec.hybrid_epochs);
+  } else if (spec.query_steps > 0) {
+    TrainQuerySteps(workload, spec.query_steps);
+  } else {
+    return 0;
+  }
+  return workload.size();
+}
+
 util::Status Uae::CopyParamsFrom(const Uae& other) {
   auto params = model_->Parameters();
   return nn::CopyParams(other.model_->Parameters(), &params);

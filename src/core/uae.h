@@ -19,6 +19,7 @@
 #include "core/dps.h"
 #include "core/made.h"
 #include "core/progressive.h"
+#include "core/servable.h"
 #include "core/targets.h"
 #include "data/imdb_star.h"
 #include "data/table.h"
@@ -68,7 +69,7 @@ struct TrainStats {
 };
 using TrainCallback = std::function<void(const TrainStats&)>;
 
-class Uae {
+class Uae : public ServableModel {
  public:
   /// Single-table estimator over `table` (must outlive the estimator).
   Uae(const data::Table& table, const UaeConfig& config);
@@ -103,11 +104,12 @@ class Uae {
   // the model and the query: independent of call order, batch composition,
   // and thread count. Batched variants fan queries across the global pool.
   double EstimateSelectivity(const workload::Query& query) const;
-  double EstimateCard(const workload::Query& query) const;
+  double EstimateCard(const workload::Query& query) const override;
   double EstimateJoinCard(const workload::JoinQuery& query) const;
   /// Batched parallel estimation; element i corresponds to queries[i] and is
   /// bit-identical to EstimateCard(queries[i]).
-  std::vector<double> EstimateCards(std::span<const workload::Query> queries) const;
+  std::vector<double> EstimateCards(
+      std::span<const workload::Query> queries) const override;
   std::vector<double> EstimateSelectivities(
       std::span<const workload::Query> queries) const;
   std::vector<double> EstimateJoinCards(
@@ -127,13 +129,21 @@ class Uae {
   /// moments are not cloned (a snapshot serves inference; a clone that keeps
   /// training warms its Adam state afresh).
   std::unique_ptr<Uae> Clone() const;
+  /// ServableModel: Clone() behind the serving interface.
+  std::shared_ptr<ServableModel> CloneServable() const override;
+  /// ServableModel: TrainQuerySteps (or TrainHybridEpochs when
+  /// spec.hybrid_epochs > 0) on the feedback workload; no-op when empty or
+  /// when the spec allots zero steps (returns 0 then).
+  size_t FineTune(const workload::Workload& workload,
+                  const FineTuneSpec& spec) override;
   /// Imports parameter values from `other` (names and shapes must match —
   /// i.e. same schema and architecture config).
   util::Status CopyParamsFrom(const Uae& other);
 
   // ---- Introspection / persistence ------------------------------------------
-  size_t SizeBytes() const { return model_->SizeBytes(); }
-  size_t num_rows() const { return num_rows_; }
+  size_t SizeBytes() const override { return model_->SizeBytes(); }
+  size_t num_rows() const override { return num_rows_; }
+  uint64_t seed() const override { return config_.seed; }
   /// The construction config (fine-tune controllers read seeds/knobs off it).
   const UaeConfig& config() const { return config_; }
   const MadeModel& model() const { return *model_; }

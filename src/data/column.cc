@@ -62,6 +62,18 @@ int32_t Column::UpperBoundCode(const Value& v) const {
   return static_cast<int32_t>(it - dict_.begin());
 }
 
+Column Column::Gather(std::span<const size_t> rows) const {
+  Column out;
+  out.name_ = name_;
+  out.dict_ = dict_;
+  out.codes_.reserve(rows.size());
+  for (size_t r : rows) {
+    UAE_DCHECK(r < codes_.size());
+    out.codes_.push_back(codes_[r]);
+  }
+  return out;
+}
+
 const std::vector<int64_t>& Column::Frequencies() const {
   if (freq_dirty_) {
     freq_.assign(dict_.size(), 0);

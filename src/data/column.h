@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,13 @@ class Column {
 
   /// Per-code frequencies (lazily computed, cached).
   const std::vector<int64_t>& Frequencies() const;
+
+  /// A new column over the selected rows (in the given order) sharing this
+  /// column's *full* dictionary, so codes — and therefore compiled query
+  /// constraints — mean the same thing in the gathered column even for values
+  /// that no selected row carries. This is what horizontal partitioning needs:
+  /// every shard answers queries in the global code space.
+  Column Gather(std::span<const size_t> rows) const;
 
   void AppendCode(int32_t code) {
     UAE_DCHECK(code >= 0 && code < domain());

@@ -44,6 +44,14 @@ void Table::AppendRowCodes(const std::vector<int32_t>& codes) {
   ++num_rows_;
 }
 
+Table Table::Gather(std::span<const size_t> rows,
+                    const std::string& new_name) const {
+  std::vector<Column> cols;
+  cols.reserve(columns_.size());
+  for (const auto& c : columns_) cols.push_back(c.Gather(rows));
+  return Table(new_name, std::move(cols));
+}
+
 Table Table::Slice(size_t begin, size_t end, const std::string& new_name) const {
   UAE_CHECK(begin <= end && end <= num_rows_);
   std::vector<Column> cols;

@@ -1,6 +1,7 @@
 // A relation: a set of equally-sized dictionary-encoded columns.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,12 @@ class Table {
 
   /// A new table containing rows [begin, end).
   Table Slice(size_t begin, size_t end, const std::string& new_name) const;
+
+  /// A new table containing the selected rows (in the given order), with
+  /// every column sharing this table's full dictionary (Column::Gather) —
+  /// the horizontal-partitioning primitive: shard tables stay addressable in
+  /// the global code space.
+  Table Gather(std::span<const size_t> rows, const std::string& new_name) const;
 
  private:
   std::string name_;

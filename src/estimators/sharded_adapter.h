@@ -1,0 +1,36 @@
+// Adapter exposing shard::ShardedUae through the common estimator interface
+// so partitioned deployments join the estimator zoo and the bench harness
+// next to the monolithic UAE variants and the baselines.
+#pragma once
+
+#include <string>
+
+#include "estimators/estimator.h"
+#include "shard/sharded_uae.h"
+
+namespace uae::estimators {
+
+class ShardedEstimator : public CardinalityEstimator {
+ public:
+  /// Does not own the model. `display_name` conventionally encodes the
+  /// partitioning, e.g. "Sharded-8xNaru".
+  ShardedEstimator(const shard::ShardedUae* model, std::string display_name)
+      : model_(model), name_(std::move(display_name)) {}
+
+  std::string name() const override { return name_; }
+  double EstimateCard(const workload::Query& query) const override {
+    return model_->EstimateCard(query);
+  }
+  /// Pruned fan-out per query, queries fanned across the global pool.
+  std::vector<double> EstimateCards(
+      std::span<const workload::Query> queries) const override {
+    return model_->EstimateCards(queries);
+  }
+  size_t SizeBytes() const override { return model_->SizeBytes(); }
+
+ private:
+  const shard::ShardedUae* model_;
+  std::string name_;
+};
+
+}  // namespace uae::estimators

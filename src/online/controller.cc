@@ -21,6 +21,8 @@ const char* AdaptOutcomeName(AdaptOutcome outcome) {
       return "skipped-no-feedback";
     case AdaptOutcome::kSkippedBusy:
       return "skipped-busy";
+    case AdaptOutcome::kSkippedUnusableFeedback:
+      return "skipped-unusable-feedback";
     case AdaptOutcome::kRejectedByGuard:
       return "rejected-by-guard";
     case AdaptOutcome::kPublished:
@@ -29,8 +31,8 @@ const char* AdaptOutcomeName(AdaptOutcome outcome) {
   return "?";
 }
 
-GuardVerdict EvaluateCandidate(const core::Uae& incumbent,
-                               const core::Uae& candidate,
+GuardVerdict EvaluateCandidate(const core::ServableModel& incumbent,
+                               const core::ServableModel& candidate,
                                const workload::Workload& holdout,
                                double guard_max_ratio) {
   GuardVerdict verdict;
@@ -134,7 +136,7 @@ AdaptationResult AdaptationController::RunAdaptation(
   // Seeded by (controller, model, generation): deterministic for a given
   // deployment, decorrelated across deployments and across successive swaps.
   workload::SplitWorkload(all, config_.holdout_fraction,
-                          config_.split_seed ^ snap->model->config().seed ^
+                          config_.split_seed ^ snap->model->seed() ^
                               snap->generation,
                           &train, &holdout);
   result.train_size = train.size();
@@ -146,23 +148,39 @@ AdaptationResult AdaptationController::RunAdaptation(
   }
 
   // Fine-tune a clone; the served snapshot keeps answering traffic untouched.
-  std::unique_ptr<core::Uae> candidate = snap->model->Clone();
-  if (!train.empty()) {
-    if (config_.hybrid_epochs > 0) {
-      candidate->TrainHybridEpochs(train, config_.hybrid_epochs);
-    } else if (config_.finetune_steps > 0) {
-      candidate->TrainQuerySteps(train, config_.finetune_steps);
-    }
-  }
+  // FineTune routes by model kind: a monolithic Uae trains on the whole
+  // slice, a ShardedUae refits only the shards the feedback targets. The
+  // clone is paid before routability is known — an unroutable slice wastes
+  // one parameter copy, bounded by the cooldown exactly like a guard
+  // rejection wastes one fine-tune.
+  std::shared_ptr<core::ServableModel> candidate = snap->model->CloneServable();
+  core::FineTuneSpec spec;
+  spec.query_steps = config_.finetune_steps;
+  spec.hybrid_epochs = config_.hybrid_epochs;
+  result.finetuned_size = candidate->FineTune(train, spec);
   if (config_.finetune_hook) config_.finetune_hook();
+
+  // A non-empty slice that trained on nothing (all feedback unroutable for
+  // this model kind) leaves the candidate bit-identical: publishing would
+  // bump the generation and flush the result cache without repairing
+  // anything. Skip; the drained feedback goes back like a guard rejection.
+  if (!train.empty() && result.finetuned_size == 0) {
+    result.outcome = AdaptOutcome::kSkippedUnusableFeedback;
+    if (config_.drain_on_adapt) {
+      for (FeedbackEntry& entry : entries) collector_->Add(std::move(entry));
+    }
+    result.seconds = timer.ElapsedSeconds();
+    RecordOutcome(result);
+    adapt_lock.unlock();
+    return result;
+  }
 
   GuardVerdict verdict = EvaluateCandidate(*snap->model, *candidate, holdout,
                                            config_.guard_max_ratio);
   result.incumbent_median = verdict.incumbent_median;
   result.candidate_median = verdict.candidate_median;
   if (verdict.accept) {
-    result.generation = service_->PublishSnapshot(
-        std::shared_ptr<const core::Uae>(std::move(candidate)));
+    result.generation = service_->PublishSnapshot(std::move(candidate));
     result.outcome = AdaptOutcome::kPublished;
   } else {
     result.outcome = AdaptOutcome::kRejectedByGuard;

@@ -5,8 +5,10 @@
 // demand, the controller drains a labeled mini-workload from the
 // FeedbackCollector, splits it into a fine-tune slice and a held-out slice
 // (deterministic seeded split), clones the incumbent snapshot, runs
-// Uae::TrainQuerySteps on the clone — the UAE-Q refinement of §4.5 — and
-// publishes the candidate through EstimationService::PublishSnapshot.
+// ServableModel::FineTune on the clone — the UAE-Q refinement of §4.5 for a
+// monolithic Uae; per-shard routed fine-tuning for a ShardedUae, so drift
+// localized to one partition refits only that shard's model — and publishes
+// the candidate through EstimationService::PublishSnapshot.
 //
 // Safety rails:
 //   * regression guard — the candidate is evaluated against the incumbent on
@@ -33,7 +35,7 @@
 #include <mutex>
 #include <thread>
 
-#include "core/uae.h"
+#include "core/servable.h"
 #include "online/drift.h"
 #include "online/feedback.h"
 #include "serve/service.h"
@@ -70,6 +72,10 @@ enum class AdaptOutcome {
   kSkippedCooldown,      ///< Not enough fresh observations since last attempt.
   kSkippedNoFeedback,    ///< Buffer below min_feedback.
   kSkippedBusy,          ///< Another fine-tune is in flight.
+  /// FineTune could not use any of the training slice (e.g. every feedback
+  /// query spans shards of a ShardedUae): the candidate is bit-identical to
+  /// the incumbent, so publishing it would only flush the result cache.
+  kSkippedUnusableFeedback,
   kRejectedByGuard,      ///< Candidate was worse on the held-out slice.
   kPublished,            ///< Candidate accepted and hot-swapped.
 };
@@ -83,6 +89,9 @@ struct AdaptationResult {
   double incumbent_median = 0.0;   ///< Held-out median q-error of the incumbent.
   double candidate_median = 0.0;   ///< ... and of the fine-tuned candidate.
   size_t train_size = 0;
+  /// Queries of the training slice FineTune actually used (< train_size when
+  /// a sharded model dropped shard-spanning feedback).
+  size_t finetuned_size = 0;
   size_t holdout_size = 0;
   double seconds = 0.0;            ///< Wall time of the attempt.
 };
@@ -104,8 +113,8 @@ struct GuardVerdict {
   double incumbent_median = 0.0;
   double candidate_median = 0.0;
 };
-GuardVerdict EvaluateCandidate(const core::Uae& incumbent,
-                               const core::Uae& candidate,
+GuardVerdict EvaluateCandidate(const core::ServableModel& incumbent,
+                               const core::ServableModel& candidate,
                                const workload::Workload& holdout,
                                double guard_max_ratio);
 

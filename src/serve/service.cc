@@ -9,7 +9,8 @@
 namespace uae::serve {
 
 EstimationService::EstimationService(
-    std::shared_ptr<const core::Uae> initial_model, const ServiceConfig& config)
+    std::shared_ptr<const core::ServableModel> initial_model,
+    const ServiceConfig& config)
     : config_(config),
       slot_(std::move(initial_model)),
       cache_(config.cache),
@@ -122,7 +123,7 @@ ServeResult EstimationService::Estimate(const workload::Query& query) {
 }
 
 uint64_t EstimationService::PublishSnapshot(
-    std::shared_ptr<const core::Uae> model) {
+    std::shared_ptr<const core::ServableModel> model) {
   uint64_t generation = slot_.Publish(std::move(model));
   snapshots_published_.fetch_add(1, std::memory_order_relaxed);
   if (config_.evict_stale_on_publish) {

@@ -30,7 +30,7 @@
 #include <utility>
 #include <vector>
 
-#include "core/uae.h"
+#include "core/servable.h"
 #include "serve/micro_batcher.h"
 #include "serve/result_cache.h"
 #include "serve/snapshot.h"
@@ -65,8 +65,9 @@ struct ServiceStats {
 class EstimationService {
  public:
   /// Starts the dispatcher thread over the initial model snapshot
-  /// (generation 1). The service shares ownership of the model.
-  EstimationService(std::shared_ptr<const core::Uae> initial_model,
+  /// (generation 1). The service shares ownership of the model (any
+  /// core::ServableModel — monolithic Uae or ShardedUae).
+  EstimationService(std::shared_ptr<const core::ServableModel> initial_model,
                     const ServiceConfig& config = {});
   ~EstimationService();
   UAE_DISALLOW_COPY(EstimationService);
@@ -81,7 +82,7 @@ class EstimationService {
 
   /// Atomically publishes a new model snapshot; in-flight batches finish on
   /// the snapshot they started with. Returns the new generation.
-  uint64_t PublishSnapshot(std::shared_ptr<const core::Uae> model);
+  uint64_t PublishSnapshot(std::shared_ptr<const core::ServableModel> model);
 
   uint64_t CurrentGeneration() const { return slot_.CurrentGeneration(); }
   /// The currently-published snapshot (for direct read-side access).

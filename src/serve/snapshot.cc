@@ -4,7 +4,7 @@
 
 namespace uae::serve {
 
-SnapshotSlot::SnapshotSlot(std::shared_ptr<const core::Uae> initial)
+SnapshotSlot::SnapshotSlot(std::shared_ptr<const core::ServableModel> initial)
     : next_generation_(2) {
   UAE_CHECK(initial != nullptr);
   auto snap = std::make_shared<ModelSnapshot>();
@@ -26,7 +26,7 @@ std::shared_ptr<const ModelSnapshot> SnapshotSlot::Current() const {
 #endif
 }
 
-uint64_t SnapshotSlot::Publish(std::shared_ptr<const core::Uae> model) {
+uint64_t SnapshotSlot::Publish(std::shared_ptr<const core::ServableModel> model) {
   UAE_CHECK(model != nullptr);
   auto snap = std::make_shared<ModelSnapshot>();
   snap->model = std::move(model);

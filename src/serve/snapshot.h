@@ -1,11 +1,14 @@
 // Hot-swappable model snapshots for the estimation service.
 //
-// A ModelSnapshot is an immutable (generation, frozen Uae) pair. The
-// SnapshotSlot holds the currently-published snapshot behind an atomic
-// std::shared_ptr: readers grab a reference with Current() and keep the model
-// alive for the duration of their batch, while a background trainer publishes
-// replacements with Publish() — no locks, no torn reads, and in-flight
-// estimates keep running against the snapshot they started with.
+// A ModelSnapshot is an immutable (generation, frozen model) pair; the model
+// is any core::ServableModel — the monolithic Uae or a ShardedUae, whose
+// snapshot is a vector of per-shard parameter sets published as one
+// generation-atomic unit. The SnapshotSlot holds the currently-published
+// snapshot behind an atomic std::shared_ptr: readers grab a reference with
+// Current() and keep the model alive for the duration of their batch, while a
+// background trainer publishes replacements with Publish() — no locks, no
+// torn reads, and in-flight estimates keep running against the snapshot they
+// started with.
 #pragma once
 
 #include <atomic>
@@ -13,7 +16,7 @@
 #include <memory>
 #include <mutex>
 
-#include "core/uae.h"
+#include "core/servable.h"
 
 // ThreadSanitizer cannot see through libstdc++'s lock-free _Sp_atomic (the
 // spinlock bit lives inside the control word, so TSan misses its
@@ -35,13 +38,13 @@ struct ModelSnapshot {
   /// snapshot the service was constructed with. Result-cache keys embed this,
   /// so publishing a new snapshot implicitly invalidates stale entries.
   uint64_t generation = 0;
-  std::shared_ptr<const core::Uae> model;
+  std::shared_ptr<const core::ServableModel> model;
 };
 
 class SnapshotSlot {
  public:
   /// Installs the initial snapshot as generation 1.
-  explicit SnapshotSlot(std::shared_ptr<const core::Uae> initial);
+  explicit SnapshotSlot(std::shared_ptr<const core::ServableModel> initial);
 
   /// The currently-published snapshot. Never null; callers hold the returned
   /// shared_ptr for as long as they need the model. Lock-free.
@@ -51,7 +54,7 @@ class SnapshotSlot {
   /// Concurrent publishers are serialized (generation allocation and the
   /// store are one critical section), so the installed generation only ever
   /// increases — readers are never blocked.
-  uint64_t Publish(std::shared_ptr<const core::Uae> model);
+  uint64_t Publish(std::shared_ptr<const core::ServableModel> model);
 
   uint64_t CurrentGeneration() const { return Current()->generation; }
 

@@ -1,0 +1,149 @@
+#include "shard/sharded_uae.h"
+
+#include <algorithm>
+
+#include "util/threadpool.h"
+
+namespace uae::shard {
+
+ShardedUae::ShardedUae(const data::Table& table, const ShardedUaeConfig& config)
+    : config_(config), num_rows_(table.num_rows()) {
+  auto partitioner =
+      std::make_shared<HorizontalPartitioner>(table, config_.partition);
+  config_.partition = partitioner->config();  // Resolved col, clamped N.
+  auto tables = std::make_shared<std::vector<data::Table>>(
+      partitioner->Materialize(table, table.name()));
+  partitioner_ = std::move(partitioner);
+  shard_tables_ = std::move(tables);
+
+  const int n = partitioner_->num_shards();
+  models_.reserve(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    core::UaeConfig shard_config = config_.base;
+    shard_config.seed = MixShardSeed(config_.base.seed, s);
+    models_.push_back(std::make_unique<core::Uae>(
+        (*shard_tables_)[static_cast<size_t>(s)], shard_config));
+  }
+}
+
+ShardedUae::ShardedUae(const ShardedUae& other)
+    : config_(other.config_),
+      partitioner_(other.partitioner_),
+      shard_tables_(other.shard_tables_),
+      num_rows_(other.num_rows_) {
+  models_.reserve(other.models_.size());
+  for (const auto& m : other.models_) models_.push_back(m->Clone());
+}
+
+std::unique_ptr<ShardedUae> ShardedUae::Clone() const {
+  return std::unique_ptr<ShardedUae>(new ShardedUae(*this));
+}
+
+std::shared_ptr<core::ServableModel> ShardedUae::CloneServable() const {
+  return std::shared_ptr<core::ServableModel>(Clone());
+}
+
+void ShardedUae::TrainDataEpochs(int epochs) {
+  util::ParallelFor(
+      0, models_.size(),
+      [&](size_t lo, size_t hi) {
+        for (size_t s = lo; s < hi; ++s) models_[s]->TrainDataEpochs(epochs);
+      },
+      /*min_parallel_size=*/1);
+}
+
+void ShardedUae::FineTuneShard(int s, const workload::Workload& workload,
+                               const core::FineTuneSpec& spec) {
+  models_[static_cast<size_t>(s)]->FineTune(workload, spec);
+}
+
+size_t ShardedUae::RouteWorkload(const workload::Workload& workload,
+                                 std::vector<workload::Workload>* per_shard) const {
+  per_shard->assign(models_.size(), {});
+  size_t dropped = 0;
+  for (const workload::LabeledQuery& lq : workload) {
+    std::vector<int> cands = partitioner_->CandidateShards(lq.query);
+    if (cands.size() != 1) {
+      // Spanning (or provably empty) query: the global true cardinality
+      // cannot be attributed to one shard's rows.
+      ++dropped;
+      continue;
+    }
+    const size_t s = static_cast<size_t>(cands[0]);
+    workload::LabeledQuery routed = lq;
+    routed.selectivity =
+        lq.card / static_cast<double>(std::max<size_t>(1, models_[s]->num_rows()));
+    (*per_shard)[s].push_back(std::move(routed));
+  }
+  return dropped;
+}
+
+size_t ShardedUae::FineTune(const workload::Workload& workload,
+                            const core::FineTuneSpec& spec) {
+  std::vector<workload::Workload> per_shard;
+  RouteWorkload(workload, &per_shard);
+  std::atomic<size_t> used{0};
+  util::ParallelFor(
+      0, models_.size(),
+      [&](size_t lo, size_t hi) {
+        for (size_t s = lo; s < hi; ++s) {
+          if (!per_shard[s].empty()) {
+            used.fetch_add(models_[s]->FineTune(per_shard[s], spec),
+                           std::memory_order_relaxed);
+          }
+        }
+      },
+      /*min_parallel_size=*/1);
+  return used.load(std::memory_order_relaxed);
+}
+
+double ShardedUae::EstimateCard(const workload::Query& query) const {
+  const size_t n = models_.size();
+  stat_queries_.fetch_add(1, std::memory_order_relaxed);
+  double total = 0.0;
+  if (config_.prune) {
+    std::vector<int> cands = partitioner_->CandidateShards(query);
+    stat_evaluated_.fetch_add(cands.size(), std::memory_order_relaxed);
+    stat_pruned_.fetch_add(n - cands.size(), std::memory_order_relaxed);
+    for (int s : cands) total += models_[static_cast<size_t>(s)]->EstimateCard(query);
+  } else {
+    stat_evaluated_.fetch_add(n, std::memory_order_relaxed);
+    for (const auto& m : models_) total += m->EstimateCard(query);
+  }
+  return total;
+}
+
+std::vector<double> ShardedUae::EstimateCards(
+    std::span<const workload::Query> queries) const {
+  // Parallelize across queries (each query's pruned fan-out runs on one
+  // worker); same fan-out rule as Uae::EstimateCards — batches smaller than
+  // the pool run sequentially with intra-model parallelism instead. Every
+  // per-shard estimate is a pure function of (shard model, query), so results
+  // are index-deterministic for any thread count.
+  std::vector<double> cards(queries.size(), 0.0);
+  auto chunk = [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) cards[i] = EstimateCard(queries[i]);
+  };
+  if (queries.size() < util::GlobalPool().num_threads()) {
+    chunk(0, queries.size());
+  } else {
+    util::ParallelFor(0, queries.size(), chunk, /*min_parallel_size=*/1);
+  }
+  return cards;
+}
+
+size_t ShardedUae::SizeBytes() const {
+  size_t total = 0;
+  for (const auto& m : models_) total += m->SizeBytes();
+  return total;
+}
+
+ShardedUae::FanoutStats ShardedUae::fanout_stats() const {
+  FanoutStats s;
+  s.queries = stat_queries_.load(std::memory_order_relaxed);
+  s.evaluated = stat_evaluated_.load(std::memory_order_relaxed);
+  s.pruned = stat_pruned_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace uae::shard

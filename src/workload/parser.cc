@@ -89,7 +89,15 @@ util::Result<data::Value> ToValue(const data::Column& col, const Token& tok) {
   if (tok.kind == Token::Kind::kString) return data::Value(tok.text);
   if (tok.kind == Token::Kind::kNumber) {
     if (tok.text.find('.') != std::string::npos) {
-      return data::Value(std::stod(tok.text));
+      // from_chars, not stod: stod throws out_of_range on absurd literals
+      // (e.g. a fuzzer's 400-digit number) — parsers must return Status.
+      double d = 0.0;
+      auto [p, ec] =
+          std::from_chars(tok.text.data(), tok.text.data() + tok.text.size(), d);
+      if (ec != std::errc() || p != tok.text.data() + tok.text.size()) {
+        return util::Status::InvalidArgument("bad number: " + tok.text);
+      }
+      return data::Value(d);
     }
     int64_t v = 0;
     auto [p, ec] = std::from_chars(tok.text.data(), tok.text.data() + tok.text.size(), v);
@@ -141,6 +149,45 @@ util::Status AddValuePredicate(const data::Table& table, int col, const std::str
     return util::Status::InvalidArgument("unknown operator '" + op + "'");
   }
   return util::Status::Ok();
+}
+
+/// Formats one dictionary value as a literal token that ToValue resolves back
+/// to the same Value.
+util::Result<std::string> FormatLiteral(const data::Value& v) {
+  switch (v.type()) {
+    case data::ValueType::kInt:
+      return std::to_string(v.AsInt());
+    case data::ValueType::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
+      std::string s = buf;
+      // The lexer's number token is digits-and-dot only: exponent forms (and
+      // inf/nan) cannot round-trip.
+      if (s.find_first_of("eEnif") != std::string::npos) {
+        return util::Status::InvalidArgument(
+            "double literal needs exponent notation: " + s);
+      }
+      if (s.find('.') == std::string::npos) s += ".0";  // Keep the double type.
+      return s;
+    }
+    case data::ValueType::kString: {
+      const std::string& s = v.AsString();
+      if (s.find('\'') == std::string::npos) return "'" + s + "'";
+      if (s.find('"') == std::string::npos) return "\"" + s + "\"";
+      return util::Status::InvalidArgument(
+          "string literal contains both quote characters: " + s);
+    }
+  }
+  return util::Status::InvalidArgument("unknown value type");
+}
+
+bool IsIdentifier(const std::string& s) {
+  if (s.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_') return false;
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -239,6 +286,95 @@ util::Result<Query> ParseQuery(const data::Table& table, const std::string& text
     tok = next_or.value();
   }
   return query;
+}
+
+util::Result<std::string> FormatQuery(const data::Table& table,
+                                      const Query& query) {
+  if (query.num_cols() != table.num_cols()) {
+    return util::Status::InvalidArgument("query/table column count mismatch");
+  }
+  std::string out;
+  for (int c = 0; c < query.num_cols(); ++c) {
+    const Constraint& cons = query.constraint(c);
+    if (!cons.IsActive()) continue;
+    const data::Column& col = table.column(c);
+    const int32_t domain = col.domain();
+    if (!IsIdentifier(col.name())) {
+      return util::Status::InvalidArgument("column name is not an identifier: " +
+                                           col.name());
+    }
+    auto lit = [&col, domain](int32_t code) -> util::Result<std::string> {
+      if (code < 0 || code >= domain) {
+        return util::Status::InvalidArgument("constraint code outside dictionary");
+      }
+      return FormatLiteral(col.ValueForCode(code));
+    };
+    std::string clause = col.name();
+    switch (cons.kind) {
+      case Constraint::Kind::kRange: {
+        if (cons.lo > cons.hi) {
+          return util::Status::InvalidArgument("empty range is not expressible");
+        }
+        // Out-of-dictionary bounds would silently normalize through the
+        // round trip (e.g. lo=-3 reparsing as lo=0), breaking the bitwise
+        // contract — reject them like every other out-of-range code.
+        if (cons.lo < 0 || cons.hi > domain - 1) {
+          return util::Status::InvalidArgument("constraint code outside dictionary");
+        }
+        if (cons.lo == cons.hi) {
+          auto v = lit(cons.lo);
+          if (!v.ok()) return v.status();
+          clause += " = " + v.value();
+        } else if (cons.lo == 0 && cons.hi == domain - 1) {
+          // Full-domain range: keep it active through the round trip via a
+          // one-sided bound that covers everything.
+          auto v = lit(domain - 1);
+          if (!v.ok()) return v.status();
+          clause += " <= " + v.value();
+        } else if (cons.lo == 0) {
+          auto v = lit(cons.hi);
+          if (!v.ok()) return v.status();
+          clause += " <= " + v.value();
+        } else if (cons.hi == domain - 1) {
+          auto v = lit(cons.lo);
+          if (!v.ok()) return v.status();
+          clause += " >= " + v.value();
+        } else {
+          auto lo = lit(cons.lo);
+          if (!lo.ok()) return lo.status();
+          auto hi = lit(cons.hi);
+          if (!hi.ok()) return hi.status();
+          clause += " BETWEEN " + lo.value() + " AND " + hi.value();
+        }
+        break;
+      }
+      case Constraint::Kind::kNotEqual: {
+        auto v = lit(cons.neq);
+        if (!v.ok()) return v.status();
+        clause += " != " + v.value();
+        break;
+      }
+      case Constraint::Kind::kIn: {
+        if (cons.in_codes.empty()) {
+          return util::Status::InvalidArgument("empty IN-list is not expressible");
+        }
+        clause += " IN (";
+        for (size_t i = 0; i < cons.in_codes.size(); ++i) {
+          auto v = lit(cons.in_codes[i]);
+          if (!v.ok()) return v.status();
+          if (i > 0) clause += ", ";
+          clause += v.value();
+        }
+        clause += ")";
+        break;
+      }
+      case Constraint::Kind::kNone:
+        continue;
+    }
+    if (!out.empty()) out += " AND ";
+    out += clause;
+  }
+  return out;
 }
 
 }  // namespace uae::workload

@@ -28,4 +28,14 @@ namespace uae::workload {
 /// dictionary.
 util::Result<Query> ParseQuery(const data::Table& table, const std::string& text);
 
+/// The inverse of ParseQuery: renders `query` as predicate-expression text
+/// that parses back to a *bitwise-identical* query (same constraint kinds,
+/// bounds and IN-lists) — the round-trip the property tests pin. An
+/// unconstrained query renders as "" (which ParseQuery accepts as
+/// unconstrained). Returns InvalidArgument when a constraint is not
+/// expressible in the grammar: a column name that is not an identifier, a
+/// string literal containing both quote characters, a double literal that
+/// needs exponent notation, or constraint codes outside the dictionary.
+util::Result<std::string> FormatQuery(const data::Table& table, const Query& query);
+
 }  // namespace uae::workload

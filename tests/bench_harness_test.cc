@@ -1,7 +1,15 @@
-// bench/: the shared harness — flag parsing and dataset dispatch.
+// bench/: the shared harness — flag parsing, dataset dispatch, and the
+// hoisted-workload evaluation path (prepare once, evaluate many estimator
+// rows).
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "bench/harness.h"
+#include "data/synthetic.h"
+#include "estimators/oracle.h"
+#include "workload/executor.h"
+#include "workload/generator.h"
 
 namespace uae::bench {
 namespace {
@@ -45,6 +53,91 @@ TEST(BenchDatasetTest, DispatchesByName) {
   EXPECT_EQ(census.num_cols(), 14);
   data::Table kdd = BuildDataset("kdd", 500, 1);
   EXPECT_EQ(kdd.num_cols(), 100);
+}
+
+/// Counts the per-workload evaluation work an estimator row triggers — the
+/// regression the PreparedWorkload hoist fixes: setup must happen once per
+/// workload, not once per (estimator row x workload).
+class CountingEstimator : public estimators::CardinalityEstimator {
+ public:
+  explicit CountingEstimator(double card) : card_(card) {}
+  std::string name() const override { return "counting"; }
+  double EstimateCard(const workload::Query&) const override {
+    single_calls.fetch_add(1);
+    return card_;
+  }
+  std::vector<double> EstimateCards(
+      std::span<const workload::Query> queries) const override {
+    batch_calls.fetch_add(1);
+    batched_queries.fetch_add(queries.size());
+    return std::vector<double>(queries.size(), card_);
+  }
+  size_t SizeBytes() const override { return 0; }
+
+  mutable std::atomic<int> single_calls{0};
+  mutable std::atomic<int> batch_calls{0};
+  mutable std::atomic<size_t> batched_queries{0};
+
+ private:
+  double card_;
+};
+
+struct HarnessFixture {
+  data::Table table = data::TinyCorrelated(400, 3);
+  workload::Workload in_workload, random_workload;
+
+  HarnessFixture() {
+    workload::GeneratorConfig gc;
+    gc.min_filters = 1;
+    gc.max_filters = 2;
+    workload::QueryGenerator gen(table, gc, 9);
+    for (int i = 0; i < 12; ++i) {
+      workload::LabeledQuery lq;
+      lq.query = gen.Generate();
+      lq.card = static_cast<double>(workload::ExecuteCount(table, lq.query));
+      (i % 2 == 0 ? in_workload : random_workload).push_back(lq);
+    }
+  }
+};
+
+TEST(EvaluateEstimatorTest, PreparedPathMatchesLegacyPathExactly) {
+  HarnessFixture f;
+  estimators::OracleEstimator oracle(f.table);
+  ResultRow legacy =
+      EvaluateEstimator("oracle", oracle, f.in_workload, f.random_workload);
+  PreparedWorkload prep_in = PrepareWorkload(f.in_workload);
+  PreparedWorkload prep_random = PrepareWorkload(f.random_workload);
+  ResultRow prepared = EvaluateEstimator("oracle", oracle, prep_in, prep_random);
+  EXPECT_DOUBLE_EQ(legacy.in_workload.mean, prepared.in_workload.mean);
+  EXPECT_DOUBLE_EQ(legacy.in_workload.median, prepared.in_workload.median);
+  EXPECT_DOUBLE_EQ(legacy.in_workload.max, prepared.in_workload.max);
+  EXPECT_DOUBLE_EQ(legacy.random.mean, prepared.random.mean);
+  EXPECT_DOUBLE_EQ(legacy.random.max, prepared.random.max);
+  EXPECT_EQ(legacy.size_bytes, prepared.size_bytes);
+}
+
+TEST(EvaluateEstimatorTest, PreparedWorkloadIsReusedAcrossEstimatorRows) {
+  HarnessFixture f;
+  PreparedWorkload prep_in = PrepareWorkload(f.in_workload);
+  PreparedWorkload prep_random = PrepareWorkload(f.random_workload);
+  ASSERT_EQ(prep_in.queries.size(), f.in_workload.size());
+  ASSERT_EQ(prep_in.true_cards.size(), f.in_workload.size());
+  const workload::Query* queries_before = prep_in.queries.data();
+
+  CountingEstimator a(10.0), b(20.0);
+  (void)EvaluateEstimator("a", a, prep_in, prep_random);
+  (void)EvaluateEstimator("b", b, prep_in, prep_random);
+
+  // Exactly ONE batched call per (row, workload) — never a per-query loop,
+  // never a second setup pass — and each call sees the whole workload.
+  EXPECT_EQ(a.batch_calls.load(), 2);
+  EXPECT_EQ(b.batch_calls.load(), 2);
+  EXPECT_EQ(a.single_calls.load(), 0);
+  EXPECT_EQ(a.batched_queries.load(),
+            f.in_workload.size() + f.random_workload.size());
+  // Evaluation does not rebuild or mutate the prepared workload.
+  EXPECT_EQ(prep_in.queries.data(), queries_before);
+  EXPECT_EQ(prep_in.queries.size(), f.in_workload.size());
 }
 
 }  // namespace

@@ -93,7 +93,8 @@ void Feed(serve::EstimationService& service, AdaptationController& controller,
   }
 }
 
-double MedianQError(const core::Uae& model, const workload::Workload& test) {
+double MedianQError(const core::ServableModel& model,
+                    const workload::Workload& test) {
   std::vector<double> errors = workload::EvaluateQErrorsBatched(
       test, [&](std::span<const workload::Query> qs) {
         return model.EstimateCards(qs);

@@ -1,0 +1,377 @@
+// Property-based round-trip and fuzz tests for workload/parser and
+// workload/persistence:
+//  * parse -> print -> parse: FormatQuery output re-parses to a BITWISE
+//    identical query, for seeded random queries over every constraint kind
+//    (ranges incl. boundary codes, equality, !=, IN-lists, intersections)
+//    over int and string dictionaries;
+//  * Save -> Load: persisted workloads reload bitwise (constraints and
+//    %.17g-printed cards/selectivities), including degenerate constraints;
+//  * fuzz: mutated CSV lines and garbage predicate text must come back as
+//    util::Status — never a crash or an uncaught exception.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/column.h"
+#include "data/table.h"
+#include "util/rng.h"
+#include "workload/parser.h"
+#include "workload/persistence.h"
+#include "workload/query.h"
+
+namespace uae::workload {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// A table covering the dictionary shapes the grammar must survive: int
+/// columns (incl. a single-value domain and negative values), and a string
+/// column with quotes-free values.
+data::Table PropertyTable() {
+  std::vector<data::Column> cols;
+  cols.push_back(data::Column::FromInts("small", {0, 1, 2, 0, 1, 2, 1}));
+  cols.push_back(data::Column::FromInts("single", {7, 7, 7, 7, 7, 7, 7}));
+  cols.push_back(data::Column::FromInts(
+      "wide", {-100, -3, 0, 5, 19, 400, 100000}));
+  cols.push_back(data::Column::FromValues(
+      "label", {data::Value(std::string("alpha")), data::Value(std::string("beta")),
+                data::Value(std::string("gamma x")), data::Value(std::string("delta")),
+                data::Value(std::string("eps_1")), data::Value(std::string("zeta")),
+                data::Value(std::string("eta"))}));
+  return data::Table("prop", std::move(cols));
+}
+
+bool SameConstraint(const Constraint& a, const Constraint& b) {
+  return a.kind == b.kind && a.lo == b.lo && a.hi == b.hi && a.neq == b.neq &&
+         a.in_codes == b.in_codes;
+}
+
+bool SameQuery(const Query& a, const Query& b) {
+  if (a.num_cols() != b.num_cols()) return false;
+  for (int c = 0; c < a.num_cols(); ++c) {
+    if (!SameConstraint(a.constraint(c), b.constraint(c))) return false;
+  }
+  return true;
+}
+
+/// Seeded random query built through AddPredicate (so it is normalized the
+/// same way parsed queries are). Exercises all kinds and boundary codes.
+Query RandomQuery(const data::Table& t, util::Rng* rng) {
+  Query q(t.num_cols());
+  for (int c = 0; c < t.num_cols(); ++c) {
+    const int32_t domain = t.column(c).domain();
+    if (rng->Bernoulli(0.35)) continue;  // Unconstrained column.
+    auto code = [&]() -> int32_t {
+      // Bias toward boundary values.
+      double u = rng->Uniform();
+      if (u < 0.15) return 0;
+      if (u < 0.3) return domain - 1;
+      return static_cast<int32_t>(rng->UniformInt(0, domain - 1));
+    };
+    switch (rng->UniformInt(0, 4)) {
+      case 0:
+        q.AddPredicate({c, Op::kEq, code(), {}}, domain);
+        break;
+      case 1: {  // Two-sided range, lo <= hi.
+        int32_t a = code(), b = code();
+        if (a > b) std::swap(a, b);
+        q.AddPredicate({c, Op::kGe, a, {}}, domain);
+        q.AddPredicate({c, Op::kLe, b, {}}, domain);
+        break;
+      }
+      case 2: {  // One-sided range, kept non-empty.
+        if (rng->Bernoulli(0.5)) {
+          q.AddPredicate({c, Op::kLe, code(), {}}, domain);
+        } else {
+          q.AddPredicate({c, Op::kGe, code(), {}}, domain);
+        }
+        break;
+      }
+      case 3:
+        q.AddPredicate({c, Op::kNeq, code(), {}}, domain);
+        break;
+      default: {  // IN-list, possibly unsorted with duplicates.
+        std::vector<int32_t> codes;
+        int k = static_cast<int>(rng->UniformInt(1, std::min<int32_t>(domain, 5)));
+        for (int i = 0; i < k; ++i) codes.push_back(code());
+        q.AddPredicate({c, Op::kIn, 0, std::move(codes)}, domain);
+        break;
+      }
+    }
+  }
+  return q;
+}
+
+bool HasEmptyConstraint(const data::Table& t, const Query& q) {
+  for (int c = 0; c < q.num_cols(); ++c) {
+    if (q.constraint(c).IsActive() &&
+        q.constraint(c).IsEmpty(t.column(c).domain())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(ParserPropertyTest, FormatParseRoundTripIsBitwiseFixpoint) {
+  data::Table t = PropertyTable();
+  util::Rng rng(2024);
+  int checked = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    Query q = RandomQuery(t, &rng);
+    if (HasEmptyConstraint(t, q)) continue;  // Not expressible in the grammar.
+    auto text = FormatQuery(t, q);
+    ASSERT_TRUE(text.ok()) << text.status().ToString();
+    auto parsed = ParseQuery(t, text.value());
+    ASSERT_TRUE(parsed.ok()) << "'" << text.value()
+                             << "': " << parsed.status().ToString();
+    EXPECT_TRUE(SameQuery(q, parsed.value())) << "'" << text.value() << "'";
+    EXPECT_EQ(q.Fingerprint(), parsed.value().Fingerprint());
+    // print(parse(print(q))) == print(q): the text form is a fixpoint too.
+    auto text2 = FormatQuery(t, parsed.value());
+    ASSERT_TRUE(text2.ok());
+    EXPECT_EQ(text.value(), text2.value());
+    ++checked;
+  }
+  EXPECT_GT(checked, 300);  // The skip path must stay rare.
+}
+
+TEST(ParserPropertyTest, FormatRejectsInexpressibleConstraints) {
+  data::Table t = PropertyTable();
+  // Empty range.
+  Query empty(t.num_cols());
+  empty.AddPredicate({0, Op::kLt, 0, {}}, t.column(0).domain());
+  EXPECT_FALSE(FormatQuery(t, empty).ok());
+  // Out-of-dictionary range bounds would silently normalize through the
+  // round trip (lo=-3 reparsing as lo=0) — they must be rejected instead.
+  Query oob(t.num_cols());
+  oob.mutable_constraint(2).kind = Constraint::Kind::kRange;
+  oob.mutable_constraint(2).lo = -3;
+  oob.mutable_constraint(2).hi = 4;
+  EXPECT_FALSE(FormatQuery(t, oob).ok());
+  oob.mutable_constraint(2).lo = 0;
+  oob.mutable_constraint(2).hi = t.column(2).domain() + 5;
+  EXPECT_FALSE(FormatQuery(t, oob).ok());
+  // Column-count mismatch.
+  EXPECT_FALSE(FormatQuery(t, Query(2)).ok());
+  // Unconstrained query renders as "" and parses back unconstrained.
+  auto blank = FormatQuery(t, Query(t.num_cols()));
+  ASSERT_TRUE(blank.ok());
+  EXPECT_EQ(blank.value(), "");
+  auto parsed = ParseQuery(t, blank.value());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().NumConstrained(), 0);
+}
+
+TEST(ParserPropertyTest, FuzzedPredicateTextReturnsStatusNotCrash) {
+  data::Table t = PropertyTable();
+  util::Rng rng(77);
+  const std::string charset =
+      "abyz_019 =!<>()',\".-+AND IN BETWEEN\t%$\\\xff\x01";
+  int parsed_ok = 0;
+  for (int iter = 0; iter < 3000; ++iter) {
+    std::string text;
+    int len = static_cast<int>(rng.UniformInt(0, 40));
+    for (int i = 0; i < len; ++i) {
+      text += charset[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(charset.size()) - 1))];
+    }
+    auto result = ParseQuery(t, text);  // Must not throw or abort.
+    parsed_ok += result.ok() ? 1 : 0;
+  }
+  // Plenty of rejects happened (the corpus is mostly garbage).
+  EXPECT_LT(parsed_ok, 1500);
+}
+
+TEST(ParserPropertyTest, MutatedValidPredicatesReturnStatusNotCrash) {
+  data::Table t = PropertyTable();
+  util::Rng rng(123);
+  for (int iter = 0; iter < 200; ++iter) {
+    Query q = RandomQuery(t, &rng);
+    if (HasEmptyConstraint(t, q)) continue;
+    auto text_or = FormatQuery(t, q);
+    ASSERT_TRUE(text_or.ok());
+    std::string text = text_or.value();
+    if (text.empty()) continue;
+    // A handful of single-edit mutants per valid string: substitution,
+    // insertion, deletion, truncation — including pathological numbers.
+    for (int m = 0; m < 8; ++m) {
+      std::string mutant = text;
+      size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(mutant.size()) - 1));
+      switch (rng.UniformInt(0, 3)) {
+        case 0:
+          mutant[pos] = static_cast<char>(rng.UniformInt(1, 255));
+          break;
+        case 1:
+          mutant.insert(pos, std::string(static_cast<size_t>(rng.UniformInt(1, 30)),
+                                         '9'));
+          break;
+        case 2:
+          mutant.erase(pos, 1);
+          break;
+        default:
+          mutant.resize(pos);
+          break;
+      }
+      (void)ParseQuery(t, mutant);  // Status either way; never a crash.
+    }
+  }
+  // A huge numeric literal must come back as Status, not std::out_of_range.
+  std::string huge = "wide <= 9" + std::string(400, '9');
+  EXPECT_FALSE(ParseQuery(t, huge).ok());
+  EXPECT_FALSE(ParseQuery(t, huge + ".5").ok());
+}
+
+Workload RandomWorkload(const data::Table& t, util::Rng* rng, size_t count) {
+  Workload w;
+  for (size_t i = 0; i < count; ++i) {
+    LabeledQuery lq;
+    lq.query = RandomQuery(t, rng);
+    // Cards across the double range, incl. values that need all 17 digits.
+    switch (rng->UniformInt(0, 3)) {
+      case 0:
+        lq.card = static_cast<double>(rng->UniformInt(0, 1 << 30));
+        break;
+      case 1:
+        lq.card = rng->Uniform(0.0, 1e300);
+        break;
+      case 2:
+        lq.card = rng->Uniform(0.0, 1.0) * 1e-300;
+        break;
+      default:
+        lq.card = rng->Uniform(0.0, 1e6);
+        break;
+    }
+    lq.selectivity = rng->Uniform();
+    w.push_back(lq);
+  }
+  return w;
+}
+
+TEST(PersistencePropertyTest, SaveLoadIsBitwiseFixpoint) {
+  data::Table t = PropertyTable();
+  util::Rng rng(31337);
+  const std::string path = TempPath("uae_workload_property.csv");
+  for (int round = 0; round < 8; ++round) {
+    Workload w = RandomWorkload(t, &rng, 24);
+    ASSERT_TRUE(SaveWorkload(w, t.num_cols(), path).ok());
+    auto loaded = LoadWorkload(path, t.num_cols());
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ASSERT_EQ(loaded.value().size(), w.size());
+    for (size_t i = 0; i < w.size(); ++i) {
+      EXPECT_TRUE(SameQuery(w[i].query, loaded.value()[i].query)) << i;
+      // %.17g round-trips doubles exactly.
+      EXPECT_EQ(w[i].card, loaded.value()[i].card) << i;
+      EXPECT_EQ(w[i].selectivity, loaded.value()[i].selectivity) << i;
+    }
+    // Save(Load(Save(w))) produces byte-identical CSV.
+    std::string first;
+    {
+      std::ifstream in(path);
+      std::stringstream ss;
+      ss << in.rdbuf();
+      first = ss.str();
+    }
+    ASSERT_TRUE(SaveWorkload(loaded.value(), t.num_cols(), path).ok());
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_EQ(first, ss.str());
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(PersistencePropertyTest, FuzzedCsvLinesReturnStatusNotCrash) {
+  data::Table t = PropertyTable();
+  util::Rng rng(999);
+  Workload w = RandomWorkload(t, &rng, 12);
+  const std::string path = TempPath("uae_workload_fuzz_base.csv");
+  ASSERT_TRUE(SaveWorkload(w, t.num_cols(), path).ok());
+  std::string base;
+  {
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    base = ss.str();
+  }
+  ASSERT_FALSE(base.empty());
+  // The unmodified file loads; seeded single-edit mutants must never crash.
+  ASSERT_TRUE(LoadWorkload(path, t.num_cols()).ok());
+  const std::string mutant_path = TempPath("uae_workload_fuzz_mutant.csv");
+  int rejected = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string mutant = base;
+    size_t pos = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(mutant.size()) - 1));
+    switch (rng.UniformInt(0, 4)) {
+      case 0:
+        mutant[pos] = static_cast<char>(rng.UniformInt(1, 255));
+        break;
+      case 1:
+        mutant.insert(pos, 1, static_cast<char>(rng.UniformInt(32, 126)));
+        break;
+      case 2:
+        mutant.erase(pos, std::min<size_t>(mutant.size() - pos,
+                                           static_cast<size_t>(rng.UniformInt(1, 40))));
+        break;
+      case 3:
+        mutant.insert(pos, std::string(static_cast<size_t>(rng.UniformInt(1, 50)),
+                                       '9'));
+        break;
+      default: {  // Swap two random lines.
+        std::vector<std::string> lines;
+        std::stringstream ss(mutant);
+        std::string line;
+        while (std::getline(ss, line)) lines.push_back(line);
+        if (lines.size() >= 2) {
+          size_t a = static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(lines.size()) - 1));
+          size_t b = static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(lines.size()) - 1));
+          std::swap(lines[a], lines[b]);
+          mutant.clear();
+          for (const auto& l : lines) mutant += l + "\n";
+        }
+        break;
+      }
+    }
+    {
+      std::ofstream out(mutant_path, std::ios::trunc);
+      out << mutant;
+    }
+    auto result = LoadWorkload(mutant_path, t.num_cols());  // No crash/throw.
+    rejected += result.ok() ? 0 : 1;
+  }
+  // The format has real integrity checks: most single edits are caught.
+  EXPECT_GT(rejected, 100);
+  std::filesystem::remove(path);
+  std::filesystem::remove(mutant_path);
+}
+
+TEST(PersistencePropertyTest, SpecificMalformedShapesAreRejected) {
+  data::Table t = PropertyTable();
+  const std::string path = TempPath("uae_workload_malformed_shapes.csv");
+  auto load_text = [&](const std::string& text) {
+    std::ofstream out(path, std::ios::trunc);
+    out << "query_id,col,kind,lo,hi,neq,in_codes\n" << text;
+    out.close();
+    return LoadWorkload(path, t.num_cols());
+  };
+  EXPECT_FALSE(load_text("0,0,range,1\n").ok());             // Too few fields.
+  EXPECT_FALSE(load_text("0,0,blob,1,2,-1,\n").ok());        // Unknown kind.
+  EXPECT_FALSE(load_text("0,9,range,1,2,-1,\n").ok());       // Column overflow.
+  EXPECT_FALSE(load_text("5,0,range,1,2,-1,\n").ok());       // Out-of-order id.
+  EXPECT_FALSE(load_text("0,0,range,x,2,-1,\n").ok());       // Bad integer.
+  EXPECT_FALSE(load_text("0,-1,card,1e,0.5,,\n").ok());      // Bad double.
+  EXPECT_FALSE(load_text("0,0,in,0,0,-1,1|x|3\n").ok());     // Bad IN code.
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace uae::workload
