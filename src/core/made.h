@@ -63,6 +63,15 @@ class MadeModel {
   std::vector<nn::NamedParam> Parameters() const;
   size_t SizeBytes() const;
 
+  // Read-only structure access for frozen inference planes (core/wavefront,
+  // core/quant): they snapshot weights/encoders once instead of walking the
+  // autograd graph per forward.
+  const nn::Tensor& encoder(int vc) const { return encoders_[static_cast<size_t>(vc)]; }
+  int encoded_width(int vc) const { return widths_[static_cast<size_t>(vc)]; }
+  const nn::MaskedLinear& input_layer() const { return input_layer_; }
+  const std::vector<nn::MadeResidualBlock>& blocks() const { return blocks_; }
+  const nn::MaskedLinear& head(int vc) const { return heads_[static_cast<size_t>(vc)]; }
+
  private:
   const data::VirtualSchema* schema_;
   MadeConfig config_;

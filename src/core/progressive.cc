@@ -58,7 +58,75 @@ std::vector<double> RunProgressiveSamples(const MadeModel& model,
                                           const QueryTargets& targets,
                                           int num_samples, util::Rng* rng);
 
+/// Mass + categorical pick over the support [lo, hi] with a per-code weight
+/// functor. Bitwise-mirrors the unfused FillColumnWeights + CategoricalF
+/// sequence: products rounded to float before the double accumulation (in
+/// ascending code order — codes outside the support contribute exactly +0
+/// there, so restricting the scan changes nothing), one Uniform(0, mass)
+/// draw, first-crossing selection, dom-1 fallback.
+template <typename WeightFn>
+LaneStep MassAndPick(const float* pr, int32_t dom, int32_t lo, int32_t hi,
+                     const WeightFn& weight, util::Rng* rng) {
+  LaneStep step;
+  double mass = 0.0;
+  for (int32_t c = lo; c <= hi; ++c) {
+    const float prod = pr[c] * weight(c);
+    mass += prod;
+  }
+  step.mass = mass;
+  if (mass <= 0.0) return step;  // Dead lane: CategoricalF is never reached.
+  const double r = rng->Uniform(0.0, mass);
+  double acc = 0.0;
+  for (int32_t c = lo; c <= hi; ++c) {
+    const float prod = pr[c] * weight(c);
+    acc += prod;
+    if (r < acc) {
+      step.pick = c;
+      return step;
+    }
+  }
+  step.pick = dom - 1;  // CategoricalF's rounding fallback.
+  return step;
+}
+
 }  // namespace
+
+LaneStep SampleLane(const data::VirtualSchema& schema, int vc,
+                    const ColumnTarget& target, const DigitRangeState& state,
+                    const float* probs_row, util::Rng* rng) {
+  const data::VirtualColumn& v = schema.vcol(vc);
+  const int32_t dom = v.domain;
+  auto one = [](int32_t) { return 1.f; };
+  switch (target.kind) {
+    case ColumnTarget::Kind::kWildcard:
+      // Unrestricted draw (the SampleTuples case); samplers skip wildcards.
+      return MassAndPick(probs_row, dom, 0, dom - 1, one, rng);
+    case ColumnTarget::Kind::kRange: {
+      int32_t lo = target.lo, hi = target.hi;
+      if (v.num_subs > 1) {
+        state.DigitBounds(schema, vc, target.lo, target.hi, &lo, &hi);
+      }
+      lo = std::max<int32_t>(lo, 0);
+      hi = std::min<int32_t>(hi, dom - 1);
+      if (lo > hi) return LaneStep{};  // Empty support: zero mass, no draw.
+      return MassAndPick(probs_row, dom, lo, hi, one, rng);
+    }
+    case ColumnTarget::Kind::kMask:
+      UAE_DCHECK(target.mask.size() == static_cast<size_t>(dom));
+      return MassAndPick(
+          probs_row, dom, 0, dom - 1,
+          [&](int32_t c) {
+            return target.mask[static_cast<size_t>(c)] != 0 ? 1.f : 0.f;
+          },
+          rng);
+    case ColumnTarget::Kind::kWeights:
+      UAE_DCHECK(target.weights.size() == static_cast<size_t>(dom));
+      return MassAndPick(
+          probs_row, dom, 0, dom - 1,
+          [&](int32_t c) { return target.weights[static_cast<size_t>(c)]; }, rng);
+  }
+  return LaneStep{};
+}
 
 double ProgressiveSample(const MadeModel& model, const QueryTargets& targets,
                          int num_samples, util::Rng* rng) {
@@ -105,8 +173,6 @@ std::vector<double> RunProgressiveSamples(const MadeModel& model,
   std::vector<uint8_t> dead(static_cast<size_t>(s), 0);
   std::vector<DigitRangeState> states(static_cast<size_t>(s),
                                       DigitRangeState(vs.num_original()));
-  std::vector<float> w;
-  std::vector<float> sampling_weights;
 
   for (int vc = 0; vc < n_vc; ++vc) {
     const data::VirtualColumn& v = vs.vcol(vc);
@@ -116,32 +182,22 @@ std::vector<double> RunProgressiveSamples(const MadeModel& model,
     nn::Tensor h = model.Trunk(inputs);
     nn::Tensor probs_t = model.HeadProbs(vc, h);  // softmax in place, no copy
     const nn::Mat& probs = probs_t->value();
-    const int32_t dom = v.domain;
 
     std::vector<int32_t> sampled(static_cast<size_t>(s), 0);
-    w.resize(static_cast<size_t>(dom));
-    sampling_weights.resize(static_cast<size_t>(dom));
     for (int r = 0; r < s; ++r) {
       if (dead[static_cast<size_t>(r)]) continue;
-      FillColumnWeights(vs, vc, target, states[static_cast<size_t>(r)], w.data(),
-                        nullptr);
-      const float* pr = probs.row(r);
-      double mass = 0.0;
-      for (int32_t c = 0; c < dom; ++c) {
-        sampling_weights[static_cast<size_t>(c)] = pr[c] * w[static_cast<size_t>(c)];
-        mass += sampling_weights[static_cast<size_t>(c)];
-      }
-      p[static_cast<size_t>(r)] *= mass;
-      if (mass <= 0.0) {
+      LaneStep step = SampleLane(vs, vc, target, states[static_cast<size_t>(r)],
+                                 probs.row(r), rng);
+      p[static_cast<size_t>(r)] *= step.mass;
+      if (step.mass <= 0.0) {
         dead[static_cast<size_t>(r)] = 1;
         p[static_cast<size_t>(r)] = 0.0;
         continue;
       }
-      int32_t pick = static_cast<int32_t>(
-          rng->CategoricalF(sampling_weights.data(), static_cast<size_t>(dom)));
-      sampled[static_cast<size_t>(r)] = pick;
+      sampled[static_cast<size_t>(r)] = step.pick;
       if (v.num_subs > 1 && target.kind == ColumnTarget::Kind::kRange) {
-        states[static_cast<size_t>(r)].Advance(vs, vc, target.lo, target.hi, pick);
+        states[static_cast<size_t>(r)].Advance(vs, vc, target.lo, target.hi,
+                                               step.pick);
       }
     }
     inputs[static_cast<size_t>(vc)] = model.EncodeHard(vc, sampled);

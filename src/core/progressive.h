@@ -41,4 +41,23 @@ void FillColumnWeights(const data::VirtualSchema& schema, int vc,
                        const ColumnTarget& target, const DigitRangeState& state,
                        float* w, float* logw);
 
+/// One lane-step of progressive sampling: the in-region mass of `probs_row`
+/// under the target and, when the mass is positive, a code drawn from the
+/// restricted distribution (one Uniform consumed; none when the lane dies).
+struct LaneStep {
+  double mass = 0.0;   ///< sum over codes of float(probs * weight), in order.
+  int32_t pick = 0;    ///< Sampled code; meaningful only when mass > 0.
+};
+
+/// Fused FillColumnWeights + mass accumulation + Rng::CategoricalF for one
+/// sample lane. Bitwise-equivalent to the unfused sequence (same float
+/// products, same double accumulation order, same single Uniform(0, mass)
+/// draw and first-crossing scan, same degenerate fallback of vdomain(vc)-1)
+/// while touching only the target's support for range targets — this is the
+/// shared sampling step that keeps the per-query and wavefront samplers
+/// bit-identical by construction.
+LaneStep SampleLane(const data::VirtualSchema& schema, int vc,
+                    const ColumnTarget& target, const DigitRangeState& state,
+                    const float* probs_row, util::Rng* rng);
+
 }  // namespace uae::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/wavefront.h"
 #include "nn/serialize.h"
 #include "util/logging.h"
 #include "util/mathutil.h"
@@ -91,7 +92,20 @@ size_t Uae::FineTune(const workload::Workload& workload, const FineTuneSpec& spe
 
 util::Status Uae::CopyParamsFrom(const Uae& other) {
   auto params = model_->Parameters();
-  return nn::CopyParams(other.model_->Parameters(), &params);
+  util::Status st = nn::CopyParams(other.model_->Parameters(), &params);
+  InvalidateFrozen();
+  return st;
+}
+
+std::shared_ptr<const FrozenMadeBackend> Uae::FrozenBackend() const {
+  std::lock_guard<std::mutex> lock(frozen_mu_);
+  if (!frozen_) frozen_ = std::make_shared<FrozenMadeBackend>(*model_);
+  return frozen_;
+}
+
+void Uae::InvalidateFrozen() {
+  std::lock_guard<std::mutex> lock(frozen_mu_);
+  frozen_.reset();
 }
 
 nn::Adam& Uae::Optimizer() {
@@ -121,6 +135,7 @@ double Uae::StepLoss(const nn::Tensor& loss) {
   nn::Adam& opt = Optimizer();
   opt.Step();
   opt.ZeroGrad();
+  InvalidateFrozen();
   return value;
 }
 
@@ -395,10 +410,21 @@ void ForEachQuery(size_t n, const std::function<void(size_t)>& estimate_one) {
 
 std::vector<double> Uae::EstimateSelectivities(
     std::span<const workload::Query> queries) const {
-  std::vector<double> sels(queries.size(), 0.0);
-  ForEachQuery(queries.size(),
-               [&](size_t i) { sels[i] = EstimateSelectivity(queries[i]); });
-  return sels;
+  // Wavefront path: all queries advance column-by-column through shared
+  // batched forwards over the frozen backend. Per-query RNG purity keeps
+  // every element bit-identical to EstimateSelectivity(queries[i]).
+  std::vector<QueryTargets> targets;
+  std::vector<util::Rng> rngs;
+  targets.reserve(queries.size());
+  rngs.reserve(queries.size());
+  for (const workload::Query& q : queries) {
+    targets.push_back(BuildTargets(q, *table_, schema_));
+    rngs.push_back(EstimationRng(q.Fingerprint()));
+  }
+  WavefrontConfig wc;
+  wc.num_samples = config_.ps_samples;
+  wc.wave_width = std::max(1, config_.wavefront_width);
+  return WavefrontSampleSelectivities(*FrozenBackend(), targets, rngs, wc);
 }
 
 std::vector<double> Uae::EstimateCards(
@@ -441,7 +467,9 @@ util::Status Uae::Save(const std::string& path) const {
 
 util::Status Uae::Load(const std::string& path) {
   auto params = model_->Parameters();
-  return nn::LoadParams(path, &params);
+  util::Status st = nn::LoadParams(path, &params);
+  InvalidateFrozen();
+  return st;
 }
 
 }  // namespace uae::core

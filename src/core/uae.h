@@ -12,6 +12,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -29,6 +30,8 @@
 #include "workload/query.h"
 
 namespace uae::core {
+
+class FrozenMadeBackend;
 
 struct UaeConfig {
   // Model architecture.
@@ -56,6 +59,10 @@ struct UaeConfig {
 
   // Inference.
   int ps_samples = 200;    ///< Progressive-sampling estimate samples.
+  /// Queries advanced together by the wavefront sampler in the batched
+  /// estimate paths. Any width produces bit-identical estimates (per-query
+  /// RNG purity); the width only trades GEMM batch size against memory.
+  int wavefront_width = 8;
 
   uint64_t seed = 1;
 };
@@ -148,6 +155,12 @@ class Uae : public ServableModel {
   const UaeConfig& config() const { return config_; }
   const MadeModel& model() const { return *model_; }
   const data::VirtualSchema& schema() const { return schema_; }
+  /// Null for join estimators.
+  const data::Table* table() const { return table_; }
+  /// Frozen fp32 inference plane over the current parameters (lazily built,
+  /// cached until the next parameter mutation). Backs the wavefront batched
+  /// estimate paths; safe to call concurrently.
+  std::shared_ptr<const FrozenMadeBackend> FrozenBackend() const;
   util::Status Save(const std::string& path) const;
   util::Status Load(const std::string& path);
 
@@ -166,6 +179,8 @@ class Uae : public ServableModel {
   std::vector<std::vector<int32_t>>& MutableVcodes();
   /// Independent estimation RNG for one query (seed x fingerprint mix).
   util::Rng EstimationRng(uint64_t fingerprint) const;
+  /// Drops the cached frozen backend; every parameter mutation calls this.
+  void InvalidateFrozen();
   /// One optimizer step for the given loss graph.
   double StepLoss(const nn::Tensor& loss);
   nn::Tensor BuildDataLoss(const std::vector<size_t>& rows);
@@ -191,6 +206,11 @@ class Uae : public ServableModel {
   std::shared_ptr<const std::vector<std::vector<int32_t>>> vcodes_;
   size_t num_rows_ = 0;
   mutable util::Rng rng_;
+  /// Cached frozen inference plane for the wavefront estimate paths;
+  /// invalidated on every parameter mutation (StepLoss / Load /
+  /// CopyParamsFrom).
+  mutable std::mutex frozen_mu_;
+  mutable std::shared_ptr<const FrozenMadeBackend> frozen_;
 };
 
 }  // namespace uae::core

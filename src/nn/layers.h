@@ -48,6 +48,10 @@ class MaskedLinear {
   Tensor ForwardRelu(const Tensor& x) const;
   void CollectParams(std::vector<NamedParam>* out) const;
   const Mat& mask() const { return mask_; }
+  /// Raw parameters, read-only — the frozen inference plane (core/wavefront)
+  /// pre-masks W once instead of re-applying the mask per forward.
+  const Tensor& weight() const { return w_; }
+  const Tensor& bias() const { return b_; }
 
  private:
   Mat mask_;
@@ -66,6 +70,8 @@ class MadeResidualBlock {
 
   Tensor Forward(const Tensor& h) const;
   void CollectParams(std::vector<NamedParam>* out) const;
+  const MaskedLinear& fc1() const { return fc1_; }
+  const MaskedLinear& fc2() const { return fc2_; }
 
  private:
   MaskedLinear fc1_;

@@ -1,0 +1,31 @@
+#include "serve/quantize.h"
+
+#include <utility>
+
+#include "online/controller.h"
+#include "util/logging.h"
+
+namespace uae::serve {
+
+QuantizedPublishResult PublishQuantizedSnapshot(
+    EstimationService* service,
+    std::shared_ptr<const core::ServableModel> candidate,
+    const workload::Workload& holdout, const QuantizedPublishOptions& options) {
+  UAE_CHECK(service != nullptr);
+  UAE_CHECK(candidate != nullptr);
+  std::shared_ptr<const ModelSnapshot> snapshot = service->CurrentSnapshot();
+  UAE_CHECK(snapshot != nullptr && snapshot->model != nullptr)
+      << "PublishQuantizedSnapshot requires a seeded service";
+  online::GuardVerdict verdict = online::EvaluateCandidate(
+      *snapshot->model, *candidate, holdout, options.guard_max_ratio);
+  QuantizedPublishResult result;
+  result.incumbent_median = verdict.incumbent_median;
+  result.candidate_median = verdict.candidate_median;
+  result.published = verdict.accept;
+  if (verdict.accept) {
+    result.generation = service->PublishSnapshot(std::move(candidate));
+  }
+  return result;
+}
+
+}  // namespace uae::serve

@@ -1,0 +1,40 @@
+// Quantized publish path: a frozen int8 candidate (core::QuantizedUae or any
+// ServableModel built from the served snapshot) may only replace the fp32
+// incumbent after passing the same holdout guard the online adaptation loop
+// uses — quantization error must not degrade served q-error beyond the bound.
+// On rejection the incumbent keeps serving untouched and no generation is
+// consumed.
+#pragma once
+
+#include <memory>
+
+#include "core/servable.h"
+#include "serve/service.h"
+#include "workload/query.h"
+
+namespace uae::serve {
+
+struct QuantizedPublishOptions {
+  /// Reject when the candidate's holdout median q-error exceeds the
+  /// incumbent's by more than this factor (online::EvaluateCandidate rule;
+  /// an empty holdout always rejects).
+  double guard_max_ratio = 1.05;
+};
+
+struct QuantizedPublishResult {
+  bool published = false;
+  uint64_t generation = 0;        ///< New generation when published, else 0.
+  double incumbent_median = 0.0;  ///< Holdout median q-error, fp32 incumbent.
+  double candidate_median = 0.0;  ///< Holdout median q-error, candidate.
+};
+
+/// Parity gate + publish: evaluates `candidate` against the currently served
+/// model on `holdout` and publishes it through the service's snapshot slot
+/// only when the guard accepts. Requires a live snapshot (seeded service).
+QuantizedPublishResult PublishQuantizedSnapshot(
+    EstimationService* service,
+    std::shared_ptr<const core::ServableModel> candidate,
+    const workload::Workload& holdout,
+    const QuantizedPublishOptions& options = {});
+
+}  // namespace uae::serve

@@ -1,10 +1,101 @@
 #include "shard/sharded_uae.h"
 
 #include <algorithm>
+#include <numeric>
 
+#include "core/quant.h"
 #include "util/threadpool.h"
 
 namespace uae::shard {
+
+namespace {
+
+/// Frozen int8 counterpart of a ShardedUae: one core::QuantizedUae per shard,
+/// sharing the source deployment's partitioner and pruning rule. Immutable —
+/// FineTune reports 0 so adaptation controllers treat it as untrainable.
+class QuantizedShardedUae : public core::ServableModel {
+ public:
+  QuantizedShardedUae(const ShardedUae& source,
+                      std::shared_ptr<const HorizontalPartitioner> partitioner,
+                      std::shared_ptr<const std::vector<data::Table>> tables,
+                      bool prune)
+      : partitioner_(std::move(partitioner)),
+        shard_tables_(std::move(tables)),
+        prune_(prune),
+        num_rows_(source.num_rows()),
+        seed_(source.seed()) {
+    const int n = source.num_shards();
+    models_.reserve(static_cast<size_t>(n));
+    for (int s = 0; s < n; ++s) {
+      models_.push_back(
+          std::make_shared<core::QuantizedUae>(source.shard_model(s)));
+    }
+  }
+
+  double EstimateCard(const workload::Query& query) const override {
+    double total = 0.0;
+    if (prune_) {
+      for (int s : partitioner_->CandidateShards(query)) {
+        total += models_[static_cast<size_t>(s)]->EstimateCard(query);
+      }
+    } else {
+      for (const auto& m : models_) total += m->EstimateCard(query);
+    }
+    return total;
+  }
+
+  std::vector<double> EstimateCards(
+      std::span<const workload::Query> queries) const override {
+    // Same shard-ascending grouped fan-out as ShardedUae::EstimateCards.
+    const size_t n_q = queries.size();
+    std::vector<double> cards(n_q, 0.0);
+    std::vector<std::vector<size_t>> per_shard(models_.size());
+    for (size_t i = 0; i < n_q; ++i) {
+      if (prune_) {
+        for (int s : partitioner_->CandidateShards(queries[i])) {
+          per_shard[static_cast<size_t>(s)].push_back(i);
+        }
+      } else {
+        for (size_t s = 0; s < models_.size(); ++s) per_shard[s].push_back(i);
+      }
+    }
+    std::vector<workload::Query> batch;
+    for (size_t s = 0; s < models_.size(); ++s) {
+      const std::vector<size_t>& idx = per_shard[s];
+      if (idx.empty()) continue;
+      batch.clear();
+      batch.reserve(idx.size());
+      for (size_t i : idx) batch.push_back(queries[i]);
+      std::vector<double> ests = models_[s]->EstimateCards(batch);
+      for (size_t j = 0; j < idx.size(); ++j) cards[idx[j]] += ests[j];
+    }
+    return cards;
+  }
+
+  size_t SizeBytes() const override {
+    size_t total = 0;
+    for (const auto& m : models_) total += m->SizeBytes();
+    return total;
+  }
+  size_t num_rows() const override { return num_rows_; }
+  uint64_t seed() const override { return seed_; }
+  std::shared_ptr<core::ServableModel> CloneServable() const override {
+    return std::make_shared<QuantizedShardedUae>(*this);  // All state shared.
+  }
+  size_t FineTune(const workload::Workload&, const core::FineTuneSpec&) override {
+    return 0;  // Frozen snapshot.
+  }
+
+ private:
+  std::shared_ptr<const HorizontalPartitioner> partitioner_;
+  std::shared_ptr<const std::vector<data::Table>> shard_tables_;
+  std::vector<std::shared_ptr<const core::QuantizedUae>> models_;
+  bool prune_ = true;
+  size_t num_rows_ = 0;
+  uint64_t seed_ = 0;
+};
+
+}  // namespace
 
 ShardedUae::ShardedUae(const data::Table& table, const ShardedUaeConfig& config)
     : config_(config), num_rows_(table.num_rows()) {
@@ -41,6 +132,11 @@ std::unique_ptr<ShardedUae> ShardedUae::Clone() const {
 
 std::shared_ptr<core::ServableModel> ShardedUae::CloneServable() const {
   return std::shared_ptr<core::ServableModel>(Clone());
+}
+
+std::shared_ptr<core::ServableModel> ShardedUae::QuantizedServable() const {
+  return std::make_shared<QuantizedShardedUae>(*this, partitioner_,
+                                               shard_tables_, config_.prune);
 }
 
 void ShardedUae::TrainDataEpochs(int epochs) {
@@ -115,19 +211,43 @@ double ShardedUae::EstimateCard(const workload::Query& query) const {
 
 std::vector<double> ShardedUae::EstimateCards(
     std::span<const workload::Query> queries) const {
-  // Parallelize across queries (each query's pruned fan-out runs on one
-  // worker); same fan-out rule as Uae::EstimateCards — batches smaller than
-  // the pool run sequentially with intra-model parallelism instead. Every
-  // per-shard estimate is a pure function of (shard model, query), so results
-  // are index-deterministic for any thread count.
-  std::vector<double> cards(queries.size(), 0.0);
-  auto chunk = [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) cards[i] = EstimateCard(queries[i]);
-  };
-  if (queries.size() < util::GlobalPool().num_threads()) {
-    chunk(0, queries.size());
+  // Group queries per shard so each shard model answers one wavefront-batched
+  // EstimateCards call instead of one forward chain per (query, shard).
+  // Shards are accumulated in ascending order — the same per-query summation
+  // order as EstimateCard's pruned fan-out — and every per-shard estimate is
+  // a pure function of (shard model, query), so element i stays bit-identical
+  // to EstimateCard(queries[i]) for any batch size or thread count.
+  const size_t n_q = queries.size();
+  const size_t n_s = models_.size();
+  std::vector<double> cards(n_q, 0.0);
+  if (n_q == 0) return cards;
+  stat_queries_.fetch_add(n_q, std::memory_order_relaxed);
+  std::vector<std::vector<size_t>> per_shard(n_s);
+  if (config_.prune) {
+    uint64_t evaluated = 0;
+    for (size_t i = 0; i < n_q; ++i) {
+      std::vector<int> cands = partitioner_->CandidateShards(queries[i]);
+      evaluated += cands.size();
+      for (int s : cands) per_shard[static_cast<size_t>(s)].push_back(i);
+    }
+    stat_evaluated_.fetch_add(evaluated, std::memory_order_relaxed);
+    stat_pruned_.fetch_add(n_s * n_q - evaluated, std::memory_order_relaxed);
   } else {
-    util::ParallelFor(0, queries.size(), chunk, /*min_parallel_size=*/1);
+    stat_evaluated_.fetch_add(n_s * n_q, std::memory_order_relaxed);
+    for (size_t s = 0; s < n_s; ++s) {
+      per_shard[s].resize(n_q);
+      std::iota(per_shard[s].begin(), per_shard[s].end(), size_t{0});
+    }
+  }
+  std::vector<workload::Query> batch;
+  for (size_t s = 0; s < n_s; ++s) {
+    const std::vector<size_t>& idx = per_shard[s];
+    if (idx.empty()) continue;
+    batch.clear();
+    batch.reserve(idx.size());
+    for (size_t i : idx) batch.push_back(queries[i]);
+    std::vector<double> ests = models_[s]->EstimateCards(batch);
+    for (size_t j = 0; j < idx.size(); ++j) cards[idx[j]] += ests[j];
   }
   return cards;
 }

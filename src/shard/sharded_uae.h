@@ -91,6 +91,11 @@ class ShardedUae : public core::ServableModel {
   /// Typed clone (same semantics as CloneServable).
   std::unique_ptr<ShardedUae> Clone() const;
 
+  /// Frozen int8 snapshot: one core::QuantizedUae per shard sharing this
+  /// deployment's partitioner, shard tables and pruning rule. Publishable
+  /// through serve::PublishQuantizedSnapshot like any generation.
+  std::shared_ptr<core::ServableModel> QuantizedServable() const;
+
   // ---- Introspection --------------------------------------------------------
   int num_shards() const { return static_cast<int>(models_.size()); }
   const HorizontalPartitioner& partitioner() const { return *partitioner_; }

@@ -3,13 +3,18 @@
 // rows).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <vector>
 
 #include "bench/harness.h"
 #include "data/synthetic.h"
 #include "estimators/oracle.h"
+#include "util/quantiles.h"
 #include "workload/executor.h"
 #include "workload/generator.h"
+#include "workload/metrics.h"
 
 namespace uae::bench {
 namespace {
@@ -114,6 +119,65 @@ TEST(EvaluateEstimatorTest, PreparedPathMatchesLegacyPathExactly) {
   EXPECT_DOUBLE_EQ(legacy.random.mean, prepared.random.mean);
   EXPECT_DOUBLE_EQ(legacy.random.max, prepared.random.max);
   EXPECT_EQ(legacy.size_bytes, prepared.size_bytes);
+}
+
+TEST(QuantileAggregationTest, HarnessQuantilesAreSharedUtilQuantiles) {
+  // Regression pin: every bench aggregation routes through util/quantiles —
+  // no bench keeps a private nearest-rank copy. On a fixed vector the shared
+  // linear-interpolation quantile is pinned exactly, and where a nearest-rank
+  // reimplementation would diverge (even-count medians) we assert the
+  // divergence, so reintroducing one cannot silently pass.
+  const std::vector<double> odd = {5.0, 1.0, 9.0, 3.0, 7.0};
+  // Odd count: interpolation and nearest-rank agree on the median.
+  EXPECT_DOUBLE_EQ(util::Quantile(odd, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(util::Quantile(odd, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(util::Quantile(odd, 1.0), 9.0);
+
+  const std::vector<double> even = {4.0, 1.0, 3.0, 2.0};
+  // Even count: interpolation averages the middle pair...
+  EXPECT_DOUBLE_EQ(util::Quantile(even, 0.5), 2.5);
+  // ...where nearest-rank (ceil(q*n) with either rounding) picks an element.
+  auto nearest_rank = [](std::vector<double> xs, double q) {
+    std::sort(xs.begin(), xs.end());
+    size_t rank = static_cast<size_t>(std::ceil(q * static_cast<double>(xs.size())));
+    return xs[std::min(xs.size() - 1, rank == 0 ? 0 : rank - 1)];
+  };
+  EXPECT_EQ(nearest_rank(even, 0.5), 2.0);
+  EXPECT_NE(util::Quantile(even, 0.5), nearest_rank(even, 0.5));
+  // Pin the interpolated p95 of a fixed 10-sample vector (pos = 8.55).
+  const std::vector<double> ten = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(util::Quantile(ten, 0.95), 9.55);
+
+  // And Summarize is Quantile applied at the canonical points.
+  util::ErrorSummary s = util::Summarize(ten);
+  EXPECT_DOUBLE_EQ(s.median, util::Quantile(ten, 0.5));
+  EXPECT_DOUBLE_EQ(s.p95, util::Quantile(ten, 0.95));
+  EXPECT_DOUBLE_EQ(s.p99, util::Quantile(ten, 0.99));
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+}
+
+TEST(QuantileAggregationTest, HarnessSummariesEqualUtilSummarizeOfQErrors) {
+  // The harness's per-workload ErrorSummary must be exactly
+  // util::Summarize(per-query q-errors) — same shared aggregation, no local
+  // re-derivation anywhere between EstimateCards and the report row.
+  HarnessFixture f;
+  estimators::OracleEstimator oracle(f.table);
+  PreparedWorkload prep_in = PrepareWorkload(f.in_workload);
+  PreparedWorkload prep_random = PrepareWorkload(f.random_workload);
+  ResultRow row = EvaluateEstimator("oracle", oracle, prep_in, prep_random);
+
+  std::vector<double> cards = oracle.EstimateCards(prep_in.queries);
+  std::vector<double> errors;
+  for (size_t i = 0; i < cards.size(); ++i) {
+    errors.push_back(workload::QError(cards[i], prep_in.true_cards[i]));
+  }
+  util::ErrorSummary expect = util::Summarize(errors);
+  EXPECT_DOUBLE_EQ(row.in_workload.mean, expect.mean);
+  EXPECT_DOUBLE_EQ(row.in_workload.median, expect.median);
+  EXPECT_DOUBLE_EQ(row.in_workload.p95, expect.p95);
+  EXPECT_DOUBLE_EQ(row.in_workload.p99, expect.p99);
+  EXPECT_DOUBLE_EQ(row.in_workload.max, expect.max);
+  EXPECT_EQ(row.in_workload.count, expect.count);
 }
 
 TEST(EvaluateEstimatorTest, PreparedWorkloadIsReusedAcrossEstimatorRows) {

@@ -191,6 +191,61 @@ TEST(DeterminismTest, ServiceRequestsFromPoolWorkersDoNotDeadlock) {
   }
 }
 
+TEST(DeterminismTest, WavefrontServiceTrafficFromPoolWorkersDoesNotDeadlock) {
+  // Wavefront regression for the PR 3 inline-answer rule: the batched
+  // EstimateCards path now advances all micro-batched queries through shared
+  // wavefront forwards, whose wave fan-out itself calls ParallelFor. Pool
+  // workers submitting to the service must still be answered inline (their
+  // nested wave loop runs inline too — no workers left to park on), the
+  // dispatcher's wavefront fan-out must still spread over the global pool,
+  // and every answer must stay the bitwise-pure function of (model, query).
+  Fixture& f = Shared();
+  auto model = std::shared_ptr<const Uae>(f.uae.Clone());
+  serve::ServiceConfig cfg;
+  cfg.max_batch = 8;       // Coalesce enough queries that waves really batch.
+  cfg.max_wait_us = 200;
+  serve::EstimationService service(model, cfg);
+
+  std::vector<double> sequential;
+  for (const auto& q : f.queries) sequential.push_back(model->EstimateCard(q));
+
+  std::atomic<int> mismatches{0};
+  // Outside threads exercise the queued micro-batch -> wavefront path while
+  // pool workers exercise the inline path, concurrently.
+  std::thread outside([&] {
+    for (int r = 0; r < 2; ++r) {
+      for (size_t i = 0; i < f.queries.size(); ++i) {
+        if (service.Estimate(f.queries[i]).card != sequential[i]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    }
+  });
+  util::ParallelFor(
+      0, f.queries.size(),
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          if (service.Estimate(f.queries[i]).card != sequential[i]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      },
+      /*min_parallel_size=*/1);
+  outside.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // And the raw batched entry point agrees with the served answers bit for
+  // bit: service traffic and direct wavefront calls are the same estimates.
+  std::vector<double> batched = f.uae.EstimateCards(f.queries);
+  ASSERT_EQ(batched.size(), sequential.size());
+  for (size_t i = 0; i < batched.size(); ++i) {
+    double cloned = model->EstimateCards(
+        std::span<const workload::Query>(&f.queries[i], 1))[0];
+    EXPECT_DOUBLE_EQ(batched[i], sequential[i]) << "query " << i;
+    EXPECT_DOUBLE_EQ(cloned, sequential[i]) << "query " << i;
+  }
+}
+
 TEST(DeterminismTest, MixedInlineAndQueuedTrafficStaysDeterministic) {
   // Plain client threads (queued + micro-batched) racing pool-worker callers
   // (inline) against one service: every answer must still be the pure
