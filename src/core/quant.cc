@@ -87,10 +87,10 @@ size_t QuantizedMadeBackend::SizeBytes() const {
 
 QuantizedUae::QuantizedUae(const Uae& source, const QuantizeOptions& options)
     : table_(source.table()),
+      universe_(source.universe()),
       config_(source.config()),
       num_rows_(source.num_rows()) {
-  UAE_CHECK(table_ != nullptr)
-      << "QuantizedUae serves single-table estimators only";
+  UAE_CHECK(table_ != nullptr);
   schema_ = std::make_shared<data::VirtualSchema>(source.schema());
   backend_ =
       std::make_shared<QuantizedMadeBackend>(source.model(), schema_.get(), options);
@@ -128,6 +128,33 @@ std::vector<double> QuantizedUae::EstimateCards(
   std::vector<double> cards = EstimateSelectivities(queries);
   for (double& c : cards) c *= static_cast<double>(num_rows_);
   return cards;
+}
+
+std::vector<double> QuantizedUae::EstimateJoinCards(
+    std::span<const workload::JoinQuery> queries) const {
+  UAE_CHECK(universe_ != nullptr)
+      << "join query on a quantized single-table snapshot";
+  std::vector<QueryTargets> targets;
+  std::vector<util::Rng> rngs;
+  targets.reserve(queries.size());
+  rngs.reserve(queries.size());
+  for (const workload::JoinQuery& q : queries) {
+    targets.push_back(BuildJoinTargets(q, *universe_, *schema_));
+    // Joins seed from JoinFingerprint (predicate x table-mask mix), the same
+    // stream Uae::EstimateJoinCard consumes.
+    rngs.push_back(util::Rng(util::SplitMix64(
+        config_.seed ^ util::SplitMix64(workload::JoinFingerprint(q)))));
+  }
+  WavefrontConfig wc;
+  wc.num_samples = config_.ps_samples;
+  wc.wave_width = std::max(1, config_.wavefront_width);
+  std::vector<double> cards = WavefrontSampleSelectivities(*backend_, targets, rngs, wc);
+  for (double& c : cards) c *= static_cast<double>(universe_->full_join_rows);
+  return cards;
+}
+
+double QuantizedUae::EstimateJoinCard(const workload::JoinQuery& query) const {
+  return EstimateJoinCards(std::span<const workload::JoinQuery>(&query, 1))[0];
 }
 
 std::shared_ptr<ServableModel> QuantizedUae::CloneServable() const {

@@ -56,6 +56,15 @@ class QuantizedUae : public ServableModel {
   std::vector<double> EstimateSelectivities(
       std::span<const workload::Query> queries) const;
 
+  /// Join sub-plan estimation is available iff the source Uae had it (i.e. it
+  /// was built over a JoinUniverse): the quantized snapshot then serves the
+  /// join optimizer through the same wavefront plane, with the RNG seeded
+  /// from workload::JoinFingerprint exactly like the fp32 source.
+  bool SupportsJoinQueries() const override { return universe_ != nullptr; }
+  double EstimateJoinCard(const workload::JoinQuery& query) const override;
+  std::vector<double> EstimateJoinCards(
+      std::span<const workload::JoinQuery> queries) const override;
+
   size_t SizeBytes() const override { return backend_->SizeBytes(); }
   size_t num_rows() const override { return num_rows_; }
   uint64_t seed() const override { return config_.seed; }
@@ -69,6 +78,7 @@ class QuantizedUae : public ServableModel {
   QuantizedUae(const QuantizedUae&) = default;
 
   const data::Table* table_ = nullptr;
+  const data::JoinUniverse* universe_ = nullptr;  ///< Null: single-table only.
   UaeConfig config_;
   /// Owned copy shared with clones; backend_ points into it.
   std::shared_ptr<const data::VirtualSchema> schema_;

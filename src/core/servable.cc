@@ -1,0 +1,23 @@
+#include "core/servable.h"
+
+#include "util/common.h"
+#include "workload/join_workload.h"
+
+namespace uae::core {
+
+// Defaults for models without a join universe: reaching these is a caller
+// bug (the serving layer checks SupportsJoinQueries() before routing).
+double ServableModel::EstimateJoinCard(const workload::JoinQuery& query) const {
+  (void)query;
+  UAE_CHECK(false) << "EstimateJoinCard on a model without join support";
+  return 0.0;
+}
+
+std::vector<double> ServableModel::EstimateJoinCards(
+    std::span<const workload::JoinQuery> queries) const {
+  (void)queries;
+  UAE_CHECK(false) << "EstimateJoinCards on a model without join support";
+  return {};
+}
+
+}  // namespace uae::core

@@ -17,6 +17,10 @@
 
 #include "workload/query.h"
 
+namespace uae::workload {
+struct JoinQuery;  // join_workload.h; kept out of this header's include graph.
+}  // namespace uae::workload
+
 namespace uae::core {
 
 /// How FineTune() should spend its budget (mirrors the knobs of
@@ -40,6 +44,24 @@ class ServableModel {
   /// Batched estimation; element i is bit-identical to EstimateCard(queries[i]).
   virtual std::vector<double> EstimateCards(
       std::span<const workload::Query> queries) const = 0;
+
+  // ---- Join estimation (optional capability) -------------------------------
+  // A model constructed over a data::JoinUniverse can answer sub-plan
+  // cardinalities for the join optimizer. The serving layer routes join
+  // requests through these exactly like single-table ones (micro-batched,
+  // cached per generation), so implementations must keep the same purity
+  // contract: EstimateJoinCard is a pure function of (model, join query),
+  // seeded from workload::JoinFingerprint.
+
+  /// Whether EstimateJoinCard*/ may be called. Defaults to false; the serving
+  /// layer CHECK-fails a join request against a model that returns false.
+  virtual bool SupportsJoinQueries() const { return false; }
+  /// Estimated cardinality of a join sub-plan. CHECK-fails unless
+  /// SupportsJoinQueries(); must be bitwise batch/thread invariant.
+  virtual double EstimateJoinCard(const workload::JoinQuery& query) const;
+  /// Batched variant; element i is bit-identical to EstimateJoinCard(queries[i]).
+  virtual std::vector<double> EstimateJoinCards(
+      std::span<const workload::JoinQuery> queries) const;
 
   virtual size_t SizeBytes() const = 0;
   /// Rows of the underlying table (feedback selectivities derive from this).

@@ -369,16 +369,6 @@ util::Rng Uae::EstimationRng(uint64_t fingerprint) const {
   return util::Rng(util::SplitMix64(config_.seed ^ util::SplitMix64(fingerprint)));
 }
 
-namespace {
-
-/// Mixes the join predicate fingerprint with the joined-table set.
-uint64_t JoinFingerprint(const workload::JoinQuery& query) {
-  return util::SplitMix64(query.pred.Fingerprint() ^
-                          (static_cast<uint64_t>(query.table_mask) << 32));
-}
-
-}  // namespace
-
 double Uae::EstimateSelectivity(const workload::Query& query) const {
   QueryTargets targets = BuildTargets(query, *table_, schema_);
   util::Rng rng = EstimationRng(query.Fingerprint());
@@ -443,7 +433,7 @@ PsEstimate Uae::EstimateWithError(const workload::Query& query) const {
 double Uae::EstimateJoinCard(const workload::JoinQuery& query) const {
   UAE_CHECK(universe_ != nullptr);
   QueryTargets targets = BuildJoinTargets(query, *universe_, schema_);
-  util::Rng rng = EstimationRng(JoinFingerprint(query));
+  util::Rng rng = EstimationRng(workload::JoinFingerprint(query));
   double sel = ProgressiveSample(*model_, targets, config_.ps_samples, &rng);
   return sel * static_cast<double>(universe_->full_join_rows);
 }

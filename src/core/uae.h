@@ -112,15 +112,21 @@ class Uae : public ServableModel {
   // and thread count. Batched variants fan queries across the global pool.
   double EstimateSelectivity(const workload::Query& query) const;
   double EstimateCard(const workload::Query& query) const override;
-  double EstimateJoinCard(const workload::JoinQuery& query) const;
+  /// ServableModel: join estimation is available iff this estimator was
+  /// constructed over a JoinUniverse (the serving layer checks this before
+  /// routing join sub-plan requests here).
+  bool SupportsJoinQueries() const override { return universe_ != nullptr; }
+  double EstimateJoinCard(const workload::JoinQuery& query) const override;
   /// Batched parallel estimation; element i corresponds to queries[i] and is
   /// bit-identical to EstimateCard(queries[i]).
   std::vector<double> EstimateCards(
       std::span<const workload::Query> queries) const override;
   std::vector<double> EstimateSelectivities(
       std::span<const workload::Query> queries) const;
+  /// Batched join estimation; element i is bit-identical to
+  /// EstimateJoinCard(queries[i]) (same per-query RNG purity contract).
   std::vector<double> EstimateJoinCards(
-      std::span<const workload::JoinQuery> queries) const;
+      std::span<const workload::JoinQuery> queries) const override;
   /// Estimate plus the progressive-sampling Monte-Carlo standard error.
   PsEstimate EstimateWithError(const workload::Query& query) const;
 
@@ -155,8 +161,11 @@ class Uae : public ServableModel {
   const UaeConfig& config() const { return config_; }
   const MadeModel& model() const { return *model_; }
   const data::VirtualSchema& schema() const { return schema_; }
-  /// Null for join estimators.
+  /// The estimation table: the construction table for single-table
+  /// estimators, the full-outer-join universe table for join estimators.
   const data::Table* table() const { return table_; }
+  /// Null for single-table estimators; the join universe otherwise.
+  const data::JoinUniverse* universe() const { return universe_; }
   /// Frozen fp32 inference plane over the current parameters (lazily built,
   /// cached until the next parameter mutation). Backs the wavefront batched
   /// estimate paths; safe to call concurrently.

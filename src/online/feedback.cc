@@ -91,6 +91,7 @@ workload::Workload ToWorkload(const std::vector<FeedbackEntry>& entries,
   queries.reserve(entries.size());
   cards.reserve(entries.size());
   for (const FeedbackEntry& e : entries) {
+    if (e.join_mask != 0) continue;  // Join feedback feeds the subplan memo.
     queries.push_back(e.query);
     cards.push_back(e.true_card);
   }

@@ -24,11 +24,20 @@
 namespace uae::online {
 
 /// One observed (served estimate, ground truth) pair.
+///
+/// Join sub-plan feedback from the plan executor rides the same buffer:
+/// `join_mask` is the joined-table bitset of the sub-plan (never 0 for
+/// joins — it always contains the fact table), with `query` holding the
+/// predicate restricted to those tables. join_mask == 0 marks ordinary
+/// single-table feedback. Consumers that only understand single-table
+/// entries (SnapshotWorkload/ToWorkload) skip join entries; the subplan
+/// memo refresher (optimizer/subplan_memo.h) consumes only join entries.
 struct FeedbackEntry {
   workload::Query query;
   double true_card = 0.0;       ///< Observed by actually executing the query.
   double estimated_card = 0.0;  ///< What the service answered at the time.
   uint64_t generation = 0;      ///< Snapshot generation that produced it.
+  uint32_t join_mask = 0;       ///< 0: single-table; else the sub-plan tables.
 };
 
 enum class FeedbackPolicy {

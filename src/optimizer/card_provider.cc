@@ -44,6 +44,43 @@ void UaeCardProvider::Prewarm(const workload::JoinQuery& query,
   }
 }
 
+ServedCardProvider::ServedCardProvider(const data::JoinUniverse& uni,
+                                       serve::EstimationService* service,
+                                       SubplanMemo* memo,
+                                       std::string display_name)
+    : uni_(uni), service_(service), memo_(memo), name_(std::move(display_name)) {
+  UAE_CHECK(service_ != nullptr);
+}
+
+double ServedCardProvider::Card(const workload::JoinQuery& query,
+                                uint32_t submask) {
+  workload::JoinQuery sub = RestrictToSubset(uni_, query, submask);
+  if (memo_ != nullptr) {
+    if (auto card = memo_->Lookup(SubplanFss(uni_, sub))) {
+      memo_hits_.fetch_add(1, std::memory_order_relaxed);
+      return *card;
+    }
+  }
+  service_requests_.fetch_add(1, std::memory_order_relaxed);
+  return service_->EstimateJoin(sub).card;
+}
+
+void ServedCardProvider::Prewarm(const workload::JoinQuery& query,
+                                 std::span<const uint32_t> submasks) {
+  std::vector<std::future<serve::ServeResult>> futures;
+  futures.reserve(submasks.size());
+  for (uint32_t s : submasks) {
+    workload::JoinQuery sub = RestrictToSubset(uni_, query, s);
+    if (memo_ != nullptr && memo_->Lookup(SubplanFss(uni_, sub))) continue;
+    service_requests_.fetch_add(1, std::memory_order_relaxed);
+    futures.push_back(service_->EstimateJoinAsync(sub));
+  }
+  // Wait so the DP loop's Card() calls hit the (generation-keyed) cache. If a
+  // publish lands between here and the loop, Card() re-estimates against the
+  // new generation — slower, never stale.
+  for (auto& f : futures) f.get();
+}
+
 AviCardProvider::AviCardProvider(const data::JoinUniverse& uni) : uni_(uni) {
   hists_.reserve(uni.base_tables.size());
   for (const auto& t : uni.base_tables) {

@@ -78,4 +78,18 @@ PlanResult OptimizeJoinOrder(const data::JoinUniverse& uni,
   return result;
 }
 
+double PlanCOutCost(const data::JoinUniverse& uni,
+                    const workload::JoinQuery& query,
+                    const std::vector<int>& order, JoinCardProvider* cards) {
+  UAE_CHECK(!order.empty());
+  (void)uni;
+  double cost = 0.0;
+  uint32_t prefix = 1u << order[0];
+  for (size_t step = 1; step < order.size(); ++step) {
+    prefix |= 1u << order[step];
+    cost += std::max(1.0, cards->Card(query, prefix));
+  }
+  return cost;
+}
+
 }  // namespace uae::optimizer

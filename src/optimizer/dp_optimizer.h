@@ -23,4 +23,12 @@ PlanResult OptimizeJoinOrder(const data::JoinUniverse& uni,
                              const workload::JoinQuery& query,
                              JoinCardProvider* cards);
 
+/// C_out cost of a FIXED left-deep order under `cards`: the sum of the
+/// provider's cardinalities over every >= 2-table prefix. Costing a plan
+/// chosen with estimated cards under a TrueCardProvider yields the
+/// chosen-plan cost — the numerator of the bench's plan_cost_ratio metric.
+double PlanCOutCost(const data::JoinUniverse& uni,
+                    const workload::JoinQuery& query,
+                    const std::vector<int>& order, JoinCardProvider* cards);
+
 }  // namespace uae::optimizer

@@ -77,6 +77,7 @@ ExecutionResult ExecutePlan(const data::JoinUniverse& uni,
     }
     current = std::move(joined);
     result.intermediate_rows += static_cast<double>(current.size());
+    result.step_rows.push_back(static_cast<double>(current.size()));
   }
   result.rows_out = static_cast<double>(current.size());
   result.seconds = timer.ElapsedSeconds();

@@ -13,6 +13,11 @@ namespace uae::optimizer {
 struct ExecutionResult {
   double rows_out = 0.0;            ///< Final join cardinality.
   double intermediate_rows = 0.0;   ///< Sum of intermediate sizes (C_out actual).
+  /// Intermediate size after each join step: step_rows[i] is the TRUE
+  /// cardinality of the sub-plan covering order[0..i+1] (left-deep plans keep
+  /// the fact table in every such prefix) — the executed-plan feedback that
+  /// optimizer::RecordPlanFeedback turns into subplan-memo observations.
+  std::vector<double> step_rows;
   double seconds = 0.0;             ///< Wall time of the join pipeline.
 };
 

@@ -1,0 +1,163 @@
+// Persistent per-subplan cardinality memo — the AQO pattern (adaptive query
+// optimization): every sub-plan the optimizer costs is identified by a
+// canonical feature-subspace hash (fss) of its (relation set, join clauses,
+// local predicates); executed plans report the TRUE cardinalities of their
+// prefix sub-plans back through the online feedback loop, and a background
+// refresher folds them into the memo OFF the query path. On the next planning
+// of the same sub-plan the memo short-circuits the model entirely — the
+// optimizer plans with observed truth where it exists and learned estimates
+// where it does not.
+//
+// Thread-safety: SubplanMemo is fully thread-safe (one mutex; all operations
+// are O(1)-ish map touches, never model evaluations). The refresher owns a
+// background thread; Start/Stop are idempotent and the destructor stops it.
+//
+// Persistence: Save/Load use the same raw-stream style as nn/serialize
+// ("UAEM" magic, version, count, fixed-width little-endian fields). Cards are
+// stored as raw IEEE-754 bit patterns and entries are written sorted by fss,
+// so save -> load -> save reproduces the file byte for byte.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "data/imdb_star.h"
+#include "online/drift.h"
+#include "online/feedback.h"
+#include "util/status.h"
+#include "workload/join_workload.h"
+
+namespace uae::optimizer {
+
+/// Canonical hash of a sub-plan: the joined-table set, the join clauses it
+/// implies (star schema: dimension t joins the fact table on the title key),
+/// and the local predicates of the in-set tables, folded in ascending
+/// (table, column) order. Because workload::Query stores one intersected
+/// constraint per column (and kIn code lists are kept sorted), the hash is
+/// invariant to the order predicates were added in — semantically equal
+/// sub-plans collide by construction. Constraints on columns of tables
+/// OUTSIDE subplan.table_mask are ignored, so a restricted and an
+/// unrestricted spelling of the same sub-plan also agree.
+uint64_t SubplanFss(const data::JoinUniverse& uni,
+                    const workload::JoinQuery& subplan);
+
+struct SubplanMemoConfig {
+  /// EMA weight of a new observation in log space:
+  ///   log_card <- (1 - smoothing) * log_card + smoothing * log(max(obs, 1)).
+  /// 1 = keep only the newest observation; the 0.5 default halves the
+  /// influence of history each refresh (AQO-style recency bias).
+  double smoothing = 0.5;
+  /// Lookup() reports a miss until a subplan has this many observations.
+  uint64_t min_observations = 1;
+};
+
+struct SubplanMemoStats {
+  uint64_t lookups = 0;
+  uint64_t hits = 0;          ///< Lookups answered (nobs >= min_observations).
+  uint64_t observations = 0;  ///< Observe() calls folded in.
+};
+
+/// One memoized sub-plan (exposed for tests and persistence).
+struct SubplanMemoEntry {
+  uint64_t fss = 0;
+  double log_card = 0.0;  ///< EMA of log(true cardinality), >= 0.
+  uint64_t nobs = 0;      ///< Observations folded into log_card.
+};
+
+class SubplanMemo {
+ public:
+  explicit SubplanMemo(const SubplanMemoConfig& config = {});
+  UAE_DISALLOW_COPY(SubplanMemo);
+
+  /// Memoized cardinality for the sub-plan hash, or nullopt while the memo
+  /// has fewer than min_observations executions of it. Thread-safe.
+  std::optional<double> Lookup(uint64_t fss) const;
+
+  /// Folds one observed true cardinality into the sub-plan's entry
+  /// (log-space EMA; see SubplanMemoConfig::smoothing). Thread-safe.
+  void Observe(uint64_t fss, double observed_card);
+
+  size_t Size() const;
+  SubplanMemoStats Stats() const;
+  /// Entries sorted by fss (the persistence order).
+  std::vector<SubplanMemoEntry> Entries() const;
+
+  /// Writes the memo ("UAEM" format). Entries are sorted and cards stored as
+  /// raw bit patterns, so the file is a deterministic function of the state.
+  util::Status Save(const std::string& path) const;
+  /// Replaces the contents with the file's entries (stats are kept).
+  util::Status Load(const std::string& path);
+
+ private:
+  const SubplanMemoConfig config_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, SubplanMemoEntry> entries_;
+  mutable SubplanMemoStats stats_;
+};
+
+/// Reports the executed plan's per-step intermediate sizes as join feedback:
+/// for every >= 2-table prefix of `order`, the prefix's intermediate result
+/// size IS the true cardinality of that sub-plan (left-deep plans over the
+/// star schema keep the fact table in every such prefix), so each becomes a
+/// FeedbackEntry with join_mask = prefix mask and query = the predicate
+/// restricted to it. `step_rows` comes from ExecutionResult::step_rows;
+/// `generation` attributes the feedback to the serving snapshot that planned
+/// the query. Returns the number of entries added.
+size_t RecordPlanFeedback(const data::JoinUniverse& uni,
+                          const workload::JoinQuery& query,
+                          const std::vector<int>& order,
+                          const std::vector<double>& step_rows,
+                          uint64_t generation,
+                          online::FeedbackCollector* collector);
+
+struct SubplanMemoRefresherConfig {
+  /// Background poll cadence of Start()ed refreshers.
+  uint64_t poll_interval_ms = 50;
+};
+
+/// Moves executed-plan feedback from a FeedbackCollector into a SubplanMemo —
+/// the off-query-path half of the loop. RefreshOnce() drains the collector:
+/// join entries (join_mask != 0) are folded into the memo (and, when a
+/// DriftMonitor is attached and the entry carries the estimate it was planned
+/// with, their q-errors feed per-generation drift tracking); single-table
+/// entries are forwarded to `passthrough` (the adaptation controller's
+/// collector) or dropped when none is given. Start() runs RefreshOnce on a
+/// background thread so planning threads never pay for memo maintenance.
+class SubplanMemoRefresher {
+ public:
+  SubplanMemoRefresher(const data::JoinUniverse& uni, SubplanMemo* memo,
+                       online::FeedbackCollector* collector,
+                       const SubplanMemoRefresherConfig& config = {},
+                       online::DriftMonitor* drift = nullptr,
+                       online::FeedbackCollector* passthrough = nullptr);
+  ~SubplanMemoRefresher();
+  UAE_DISALLOW_COPY(SubplanMemoRefresher);
+
+  /// Drains the collector once; returns how many join entries were folded in.
+  size_t RefreshOnce();
+
+  /// Starts/stops the background polling thread (idempotent).
+  void Start();
+  void Stop();
+
+ private:
+  const data::JoinUniverse& uni_;
+  SubplanMemo* const memo_;
+  online::FeedbackCollector* const collector_;
+  const SubplanMemoRefresherConfig config_;
+  online::DriftMonitor* const drift_;
+  online::FeedbackCollector* const passthrough_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+}  // namespace uae::optimizer

@@ -31,8 +31,16 @@ struct ServeResult {
 
 /// One in-flight estimation request. The query is copied in so the request
 /// outlives the caller's stack frame (needed for the future-based API).
+///
+/// Join sub-plan requests ride the same queue: `join_mask` is the joined-table
+/// bitset of a workload::JoinQuery (non-empty by construction — even a
+/// single-table sub-plan over the join universe has its own bit set — so it is
+/// never 0), with `query` holding the predicate part. join_mask == 0 means a
+/// plain single-table request. Either way `fingerprint` is the cache/RNG key
+/// (query.Fingerprint() or workload::JoinFingerprint respectively).
 struct EstimateRequest {
   workload::Query query;
+  uint32_t join_mask = 0;  ///< 0: single-table; else JoinQuery::table_mask.
   uint64_t fingerprint = 0;
   std::promise<ServeResult> promise;
 };

@@ -24,19 +24,24 @@ EstimationService::~EstimationService() {
   if (dispatcher_.joinable()) dispatcher_.join();
 }
 
-ServeResult EstimationService::EstimateInline(const workload::Query& query,
-                                              uint64_t fingerprint) {
+ServeResult EstimationService::EstimateInline(const EstimateRequest& request) {
   std::shared_ptr<const ModelSnapshot> snap = slot_.Current();
   if (config_.cache_enabled) {
-    if (auto v = cache_.Lookup(fingerprint, snap->generation)) {
+    if (auto v = cache_.Lookup(request.fingerprint, snap->generation)) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
       CountAnswered(snap->generation, 1);
       return {*v, snap->generation, true};
     }
   }
-  double card = snap->model->EstimateCard(query);
+  double card;
+  if (request.join_mask != 0) {
+    card = snap->model->EstimateJoinCard(
+        workload::JoinQuery{request.join_mask, request.query});
+  } else {
+    card = snap->model->EstimateCard(request.query);
+  }
   if (config_.cache_enabled) {
-    cache_.Insert(fingerprint, snap->generation, card);
+    cache_.Insert(request.fingerprint, snap->generation, card);
   }
   CountAnswered(snap->generation, 1);
   return {card, snap->generation, false};
@@ -81,16 +86,14 @@ std::future<ServeResult> ReadyFuture(ServeResult result) {
 
 }  // namespace
 
-std::future<ServeResult> EstimationService::EstimateAsync(
-    const workload::Query& query) {
+std::future<ServeResult> EstimationService::Submit(EstimateRequest request) {
   requests_.fetch_add(1, std::memory_order_relaxed);
-  const uint64_t fingerprint = query.Fingerprint();
 
   // Fast path: answered from the cache against the current snapshot without
   // touching the queue.
   if (config_.cache_enabled) {
     std::shared_ptr<const ModelSnapshot> snap = slot_.Current();
-    if (auto v = cache_.Lookup(fingerprint, snap->generation)) {
+    if (auto v = cache_.Lookup(request.fingerprint, snap->generation)) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
       CountAnswered(snap->generation, 1);
       return ReadyFuture({*v, snap->generation, true});
@@ -102,24 +105,42 @@ std::future<ServeResult> EstimationService::EstimateAsync(
   // could leave no one to run the batch. Answer on the calling thread.
   if (util::GlobalPool().InThisPool()) {
     inline_requests_.fetch_add(1, std::memory_order_relaxed);
-    return ReadyFuture(EstimateInline(query, fingerprint));
+    return ReadyFuture(EstimateInline(request));
   }
 
-  EstimateRequest request;
-  request.query = query;
-  request.fingerprint = fingerprint;
   std::future<ServeResult> queued_future = request.promise.get_future();
   if (!batcher_.Push(std::move(request))) {
     // Service is shutting down; degrade to an inline answer. A refused Push
     // leaves `request` untouched, so its promise still backs the future.
     inline_requests_.fetch_add(1, std::memory_order_relaxed);
-    request.promise.set_value(EstimateInline(query, fingerprint));
+    request.promise.set_value(EstimateInline(request));
   }
   return queued_future;
 }
 
+std::future<ServeResult> EstimationService::EstimateAsync(
+    const workload::Query& query) {
+  EstimateRequest request;
+  request.query = query;
+  request.fingerprint = query.Fingerprint();
+  return Submit(std::move(request));
+}
+
+std::future<ServeResult> EstimationService::EstimateJoinAsync(
+    const workload::JoinQuery& query) {
+  EstimateRequest request;
+  request.query = query.pred;
+  request.join_mask = query.table_mask;
+  request.fingerprint = workload::JoinFingerprint(query);
+  return Submit(std::move(request));
+}
+
 ServeResult EstimationService::Estimate(const workload::Query& query) {
   return EstimateAsync(query).get();
+}
+
+ServeResult EstimationService::EstimateJoin(const workload::JoinQuery& query) {
+  return EstimateJoinAsync(query).get();
 }
 
 uint64_t EstimationService::PublishSnapshot(
@@ -158,6 +179,8 @@ void EstimationService::RunBatch(std::vector<EstimateRequest> batch) {
   std::vector<ServeResult> results(batch.size());
   std::vector<size_t> miss_index;
   std::vector<workload::Query> miss_queries;
+  std::vector<size_t> join_miss_index;
+  std::vector<workload::JoinQuery> join_miss_queries;
   miss_index.reserve(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
     // Re-check the cache under the batch snapshot: an earlier batch (or an
@@ -171,8 +194,16 @@ void EstimationService::RunBatch(std::vector<EstimateRequest> batch) {
         continue;
       }
     }
-    miss_index.push_back(i);
-    miss_queries.push_back(batch[i].query);
+    // One queue, two model entry points: join sub-plans and single-table
+    // queries coalesce into the same micro-batch but fan out separately.
+    if (batch[i].join_mask != 0) {
+      join_miss_index.push_back(i);
+      join_miss_queries.push_back(
+          workload::JoinQuery{batch[i].join_mask, batch[i].query});
+    } else {
+      miss_index.push_back(i);
+      miss_queries.push_back(batch[i].query);
+    }
   }
 
   if (!miss_queries.empty()) {
@@ -183,6 +214,19 @@ void EstimationService::RunBatch(std::vector<EstimateRequest> batch) {
       results[miss_index[m]] = {cards[m], generation, false};
       if (config_.cache_enabled) {
         cache_.Insert(batch[miss_index[m]].fingerprint, generation, cards[m]);
+      }
+    }
+  }
+
+  if (!join_miss_queries.empty()) {
+    std::vector<double> cards = snap->model->EstimateJoinCards(join_miss_queries);
+    batched_queries_.fetch_add(static_cast<uint64_t>(join_miss_queries.size()),
+                               std::memory_order_relaxed);
+    for (size_t m = 0; m < join_miss_index.size(); ++m) {
+      results[join_miss_index[m]] = {cards[m], generation, false};
+      if (config_.cache_enabled) {
+        cache_.Insert(batch[join_miss_index[m]].fingerprint, generation,
+                      cards[m]);
       }
     }
   }

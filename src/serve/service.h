@@ -1,12 +1,14 @@
 // EstimationService — the concurrent serving layer over core::Uae.
 //
-// Many client threads call Estimate()/EstimateAsync() with single queries;
-// the service coalesces them into micro-batches (MicroBatcher) and fans each
-// batch through Uae::EstimateCards, which parallelizes progressive sampling
-// across the global pool. Because PR 1 made every estimate a pure function of
-// (model, query) — per-query RNG derived from the query fingerprint — the
-// served results are bit-identical to sequential EstimateCard calls no matter
-// how requests interleave, batch, or hit the cache.
+// Many client threads call Estimate()/EstimateAsync() with single queries —
+// or EstimateJoin()/EstimateJoinAsync() with join sub-plans from the query
+// optimizer; the service coalesces them into micro-batches (MicroBatcher) and
+// fans each batch through EstimateCards/EstimateJoinCards, which parallelize
+// progressive sampling across the global pool. Because every estimate is a
+// pure function of (model, query) — per-query RNG derived from the query
+// fingerprint — the served results are bit-identical to sequential
+// EstimateCard calls no matter how requests interleave, batch, or hit the
+// cache.
 //
 // A snapshot swap (PublishSnapshot) is a single atomic shared_ptr store: a
 // background trainer keeps training its own Uae and publishes Clone()s; every
@@ -34,6 +36,7 @@
 #include "serve/micro_batcher.h"
 #include "serve/result_cache.h"
 #include "serve/snapshot.h"
+#include "workload/join_workload.h"
 #include "workload/query.h"
 
 namespace uae::serve {
@@ -73,12 +76,35 @@ class EstimationService {
   UAE_DISALLOW_COPY(EstimationService);
 
   /// Blocking single-query estimate (cardinality + attribution).
+  /// Thread-safe; callable from any thread including global-pool workers
+  /// (those are answered inline — see the deadlock note above).
   ServeResult Estimate(const workload::Query& query);
   /// Convenience: just the cardinality.
   double EstimateCard(const workload::Query& query) { return Estimate(query).card; }
   /// Non-blocking: the future resolves when the micro-batch containing the
   /// query completes (immediately for cache hits and inline callers).
   std::future<ServeResult> EstimateAsync(const workload::Query& query);
+
+  // ---- Join sub-plan estimation ---------------------------------------------
+  // Join requests from the query optimizer share everything with single-table
+  // ones: the same micro-batch queue (concurrent planner threads coalesce
+  // into shared batches), the same (fingerprint, generation)-keyed result
+  // cache (keyed by workload::JoinFingerprint, so a hot-swap invalidates by
+  // construction), and the same snapshot slot — a published quantized or
+  // fine-tuned snapshot starts answering sub-plan estimates transparently.
+  // The published model must return SupportsJoinQueries() == true; routing a
+  // join request to one that does not is a CHECK failure.
+
+  /// Blocking join sub-plan estimate. Bit-identical to
+  /// model->EstimateJoinCard(query) on the answering generation's snapshot,
+  /// regardless of batching, caching, or calling thread.
+  ServeResult EstimateJoin(const workload::JoinQuery& query);
+  /// Convenience: just the cardinality.
+  double EstimateJoinCard(const workload::JoinQuery& query) {
+    return EstimateJoin(query).card;
+  }
+  /// Non-blocking join estimate; same resolution rules as EstimateAsync.
+  std::future<ServeResult> EstimateJoinAsync(const workload::JoinQuery& query);
 
   /// Atomically publishes a new model snapshot; in-flight batches finish on
   /// the snapshot they started with. Returns the new generation.
@@ -105,8 +131,13 @@ class EstimationService {
   uint64_t AnsweredForGeneration(uint64_t generation) const;
 
  private:
-  /// Answers one request synchronously on the calling thread (cache-aware).
-  ServeResult EstimateInline(const workload::Query& query, uint64_t fingerprint);
+  /// Shared admission path for single-table and join requests: cache fast
+  /// path, inline answering for pool workers, then the micro-batch queue.
+  /// `request.fingerprint` and `request.join_mask` must already be set.
+  std::future<ServeResult> Submit(EstimateRequest request);
+  /// Answers one request synchronously on the calling thread (cache-aware);
+  /// dispatches on request.join_mask.
+  ServeResult EstimateInline(const EstimateRequest& request);
   /// Attributes `count` responses to `generation`.
   void CountAnswered(uint64_t generation, uint64_t count);
   /// Dispatcher: drains micro-batches until the batcher closes.

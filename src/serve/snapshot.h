@@ -9,6 +9,14 @@
 // background trainer publishes replacements with Publish() — no locks, no
 // torn reads, and in-flight estimates keep running against the snapshot they
 // started with.
+//
+// Generation semantics (the contract every layer above relies on): each
+// publish allocates a strictly increasing generation; every served result is
+// attributed to exactly one generation; and all caches key on (fingerprint,
+// generation), so a hot-swap can never serve a stale value — it only makes
+// old entries unreachable. Within one generation, estimates are bitwise
+// deterministic (pure functions of the snapshot's model and the query); see
+// docs/DETERMINISM.md.
 #pragma once
 
 #include <atomic>

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/mathutil.h"
 #include "workload/executor.h"
 
 namespace uae::workload {
@@ -18,6 +19,14 @@ std::vector<int> DownscaleColumns(const data::JoinUniverse& uni, uint32_t table_
 
 double JoinTrueCard(const data::JoinUniverse& uni, const JoinQuery& q) {
   return ExecuteWeightedCount(uni.universe, q.pred, DownscaleColumns(uni, q.table_mask));
+}
+
+uint64_t JoinFingerprint(const JoinQuery& q) {
+  // Must stay bit-identical to the historical core/uae.cc mix: the per-query
+  // estimation RNG is seeded from this value, so changing it would change
+  // every join estimate.
+  return util::SplitMix64(q.pred.Fingerprint() ^
+                          (static_cast<uint64_t>(q.table_mask) << 32));
 }
 
 JoinQuery RestrictToSubset(const data::JoinUniverse& uni, const JoinQuery& q,

@@ -32,6 +32,13 @@ using JoinWorkload = std::vector<LabeledJoinQuery>;
 /// Exact cardinality by weighted scan of the materialized universe.
 double JoinTrueCard(const data::JoinUniverse& uni, const JoinQuery& q);
 
+/// Stable fingerprint of a join query: the predicate fingerprint mixed with
+/// the joined-table set. This is the key the estimation RNG, the serving
+/// result cache, and train/test dedup all derive from, so it must stay a pure
+/// function of (table_mask, pred) — two JoinQuery values that compare equal
+/// field-by-field always fingerprint identically.
+uint64_t JoinFingerprint(const JoinQuery& q);
+
 /// Restricts a join query to a subset of its tables: keeps only predicates on
 /// columns of tables inside `submask` (plus their indicator constraints).
 /// Used by the optimizer to cost sub-plans.

@@ -1,0 +1,125 @@
+// Guards against documentation drift: the README quickstart must carry the
+// ROADMAP's tier-1 verify line verbatim, prose must not hard-code test
+// counts (they go stale every PR), and every BENCH_*.json a document names
+// must exist as a committed baseline under bench/.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifndef UAE_REPO_ROOT
+#error "UAE_REPO_ROOT must be defined by the build (see CMakeLists.txt)"
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+
+const fs::path kRoot = UAE_REPO_ROOT;
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// README + the docs book: the documents a user actually reads.
+std::vector<fs::path> UserDocs() {
+  std::vector<fs::path> docs = {kRoot / "README.md"};
+  for (const auto& entry : fs::directory_iterator(kRoot / "docs")) {
+    if (entry.path().extension() == ".md") docs.push_back(entry.path());
+  }
+  return docs;
+}
+
+TEST(DocsConsistencyTest, DocsBookExists) {
+  for (const char* name : {"ARCHITECTURE.md", "BENCHMARKS.md",
+                           "DETERMINISM.md"}) {
+    EXPECT_TRUE(fs::exists(kRoot / "docs" / name)) << "docs/" << name;
+  }
+}
+
+TEST(DocsConsistencyTest, ReadmeCarriesTier1VerifyLine) {
+  // ROADMAP.md is the source of truth: "**Tier-1 verify:** `<command>`".
+  const std::string roadmap = ReadFile(kRoot / "ROADMAP.md");
+  std::smatch m;
+  ASSERT_TRUE(std::regex_search(
+      roadmap, m, std::regex(R"(\*\*Tier-1 verify:\*\* `([^`]+)`)")))
+      << "ROADMAP.md lost its tier-1 verify line";
+  const std::string verify = m[1].str();
+  ASSERT_FALSE(verify.empty());
+
+  // The README quickstart must quote the same command verbatim, so a user
+  // following the README runs exactly what the roadmap promises.
+  const std::string readme = ReadFile(kRoot / "README.md");
+  EXPECT_NE(readme.find(verify), std::string::npos)
+      << "README.md diverged from the ROADMAP tier-1 verify line:\n  "
+      << verify;
+}
+
+TEST(DocsConsistencyTest, NoHardCodedTestCounts) {
+  // "N tests pass" claims go stale the moment a PR adds a suite; the verify
+  // line is the durable way to state "the suite is green".
+  const std::regex stale(R"(\b[0-9]+\+?\s+tests\s+pass)",
+                         std::regex::icase);
+  std::vector<fs::path> docs = UserDocs();
+  docs.push_back(kRoot / "ROADMAP.md");
+  for (const fs::path& doc : docs) {
+    const std::string text = ReadFile(doc);
+    std::smatch m;
+    EXPECT_FALSE(std::regex_search(text, m, stale))
+        << doc << " hard-codes a test count: \"" << m.str()
+        << "\" — phrase it without the number";
+  }
+}
+
+TEST(DocsConsistencyTest, EveryNamedBenchBaselineExists) {
+  // Any BENCH_*.json a user-facing document names must exist as a committed
+  // baseline under bench/ (ROADMAP is exempt: it names future benches).
+  const std::regex bench_ref(R"(BENCH_[A-Za-z0-9_]+\.json)");
+  std::set<std::string> named;
+  for (const fs::path& doc : UserDocs()) {
+    const std::string text = ReadFile(doc);
+    for (std::sregex_iterator it(text.begin(), text.end(), bench_ref), end;
+         it != end; ++it) {
+      named.insert(it->str());
+    }
+  }
+  EXPECT_GE(named.size(), 6u) << "the six gated baselines should be named";
+  for (const std::string& name : named) {
+    EXPECT_TRUE(fs::exists(kRoot / "bench" / name))
+        << name << " is referenced in README/docs but not committed under "
+                   "bench/";
+  }
+}
+
+TEST(DocsConsistencyTest, RelativeMarkdownLinksResolve) {
+  // [text](relative/path.md) links inside README and docs/ must point at
+  // files that exist (anchors and absolute URLs are out of scope here; CI's
+  // docs-check job covers the same ground pre-merge).
+  const std::regex link(R"(\]\(([^)]+)\))");
+  for (const fs::path& doc : UserDocs()) {
+    const std::string text = ReadFile(doc);
+    for (std::sregex_iterator it(text.begin(), text.end(), link), end;
+         it != end; ++it) {
+      std::string target = (*it)[1].str();
+      if (target.empty() || target[0] == '#' ||
+          target.find("://") != std::string::npos) {
+        continue;
+      }
+      target = target.substr(0, target.find('#'));  // Strip the anchor.
+      const fs::path resolved = doc.parent_path() / target;
+      EXPECT_TRUE(fs::exists(resolved))
+          << doc << " links to missing file: " << target;
+    }
+  }
+}
+
+}  // namespace

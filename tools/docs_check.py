@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Fast documentation consistency check, runnable without a build.
+
+Mirrors tests/docs_consistency_test.cc so CI can fail doc drift in seconds
+(the gtest still runs in tier-1 for local `ctest` coverage):
+
+  1. relative markdown links in README.md, ROADMAP.md, and docs/ resolve;
+  2. every BENCH_*.json named by README/docs exists under bench/;
+  3. the README quotes the ROADMAP's tier-1 verify line verbatim;
+  4. no user-facing doc hard-codes an "N tests pass" claim.
+
+Exit 0 when clean, 1 with one line per violation otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"\]\(([^)]+)\)")
+BENCH_RE = re.compile(r"BENCH_[A-Za-z0-9_]+\.json")
+VERIFY_RE = re.compile(r"\*\*Tier-1 verify:\*\* `([^`]+)`")
+STALE_COUNT_RE = re.compile(r"\b[0-9]+\+?\s+tests\s+pass", re.IGNORECASE)
+
+
+def user_docs():
+    docs = [ROOT / "README.md"]
+    docs += sorted((ROOT / "docs").glob("*.md"))
+    return docs
+
+
+def main():
+    errors = []
+
+    # 1. Relative links resolve (anchors and absolute URLs out of scope).
+    for doc in user_docs() + [ROOT / "ROADMAP.md"]:
+        text = doc.read_text(encoding="utf-8")
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if not target or target.startswith("#") or "://" in target:
+                continue
+            target = target.split("#", 1)[0]
+            if not (doc.parent / target).exists():
+                errors.append(f"{doc.relative_to(ROOT)}: broken link -> {target}")
+
+    # 2. Named bench baselines are committed (ROADMAP exempt: future benches).
+    named = set()
+    for doc in user_docs():
+        named.update(BENCH_RE.findall(doc.read_text(encoding="utf-8")))
+    if len(named) < 6:
+        errors.append(f"only {len(named)} BENCH_*.json named in README/docs; "
+                      "the six gated baselines should all be documented")
+    for name in sorted(named):
+        if not (ROOT / "bench" / name).exists():
+            errors.append(f"{name} referenced in README/docs but missing from bench/")
+
+    # 3. README carries the ROADMAP tier-1 verify line verbatim.
+    roadmap = (ROOT / "ROADMAP.md").read_text(encoding="utf-8")
+    m = VERIFY_RE.search(roadmap)
+    if not m:
+        errors.append("ROADMAP.md lost its '**Tier-1 verify:** `...`' line")
+    elif m.group(1) not in (ROOT / "README.md").read_text(encoding="utf-8"):
+        errors.append("README.md diverged from the ROADMAP tier-1 verify line: "
+                      + m.group(1))
+
+    # 4. No hard-coded test counts — they go stale every PR.
+    for doc in user_docs() + [ROOT / "ROADMAP.md"]:
+        stale = STALE_COUNT_RE.search(doc.read_text(encoding="utf-8"))
+        if stale:
+            errors.append(f"{doc.relative_to(ROOT)}: hard-coded test count "
+                          f'"{stale.group(0)}" — phrase it without the number')
+
+    for err in errors:
+        print(f"docs-check: {err}", file=sys.stderr)
+    if not errors:
+        print(f"docs-check: OK ({len(user_docs())} docs, "
+              f"{len(named)} bench baselines verified)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
