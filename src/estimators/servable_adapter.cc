@@ -1,0 +1,40 @@
+#include "estimators/servable_adapter.h"
+
+#include "util/common.h"
+
+namespace uae::estimators {
+
+ServableEstimatorAdapter::ServableEstimatorAdapter(
+    std::shared_ptr<const CardinalityEstimator> estimator, size_t num_rows,
+    uint64_t seed)
+    : estimator_(std::move(estimator)), num_rows_(num_rows), seed_(seed) {
+  UAE_CHECK(estimator_ != nullptr);
+}
+
+double ServableEstimatorAdapter::EstimateCard(
+    const workload::Query& query) const {
+  return estimator_->EstimateCard(query);
+}
+
+std::vector<double> ServableEstimatorAdapter::EstimateCards(
+    std::span<const workload::Query> queries) const {
+  return estimator_->EstimateCards(queries);
+}
+
+size_t ServableEstimatorAdapter::SizeBytes() const {
+  return estimator_->SizeBytes();
+}
+
+std::shared_ptr<core::ServableModel> ServableEstimatorAdapter::CloneServable()
+    const {
+  // The estimator is immutable and shared; a fresh adapter is a full clone.
+  return std::make_shared<ServableEstimatorAdapter>(estimator_, num_rows_,
+                                                    seed_);
+}
+
+size_t ServableEstimatorAdapter::FineTune(const workload::Workload& /*workload*/,
+                                          const core::FineTuneSpec& /*spec*/) {
+  return 0;
+}
+
+}  // namespace uae::estimators

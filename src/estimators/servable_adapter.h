@@ -1,0 +1,45 @@
+// ServableEstimatorAdapter — lifts any classical estimators::
+// CardinalityEstimator (histogram, sampling, oracle, ...) into the
+// core::ServableModel contract so the serving/router layers can treat the
+// whole estimator zoo uniformly. The wrapped estimator is immutable, so the
+// adapter is trivially pure (the bitwise-determinism contract holds by
+// construction), FineTune is a no-op returning 0 ("clone still
+// bit-identical"), and CloneServable shares the underlying estimator.
+#pragma once
+
+#include <memory>
+
+#include "core/servable.h"
+#include "estimators/estimator.h"
+
+namespace uae::estimators {
+
+class ServableEstimatorAdapter : public core::ServableModel {
+ public:
+  /// `num_rows`/`seed` satisfy the servable metadata the estimator interface
+  /// does not carry (feedback selectivities derive from num_rows).
+  ServableEstimatorAdapter(
+      std::shared_ptr<const CardinalityEstimator> estimator, size_t num_rows,
+      uint64_t seed = 0);
+
+  double EstimateCard(const workload::Query& query) const override;
+  std::vector<double> EstimateCards(
+      std::span<const workload::Query> queries) const override;
+  size_t SizeBytes() const override;
+  size_t num_rows() const override { return num_rows_; }
+  uint64_t seed() const override { return seed_; }
+  std::shared_ptr<core::ServableModel> CloneServable() const override;
+  /// Classical estimators do not fine-tune; always 0 (see ServableModel —
+  /// callers treat 0 as "clone unchanged, nothing to publish").
+  size_t FineTune(const workload::Workload& workload,
+                  const core::FineTuneSpec& spec) override;
+
+  const CardinalityEstimator& estimator() const { return *estimator_; }
+
+ private:
+  std::shared_ptr<const CardinalityEstimator> estimator_;
+  size_t num_rows_;
+  uint64_t seed_;
+};
+
+}  // namespace uae::estimators

@@ -1,0 +1,67 @@
+#include "router/query_class.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+#include "util/mathutil.h"
+
+namespace uae::router {
+
+namespace {
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  return util::SplitMix64(h ^ (v + 0x9e3779b97f4a7c15ull));
+}
+
+}  // namespace
+
+uint64_t QueryFss(const workload::Query& query) {
+  uint64_t h = Mix(0xF55ull, static_cast<uint64_t>(query.num_cols()));
+  for (int c = 0; c < query.num_cols(); ++c) {
+    const workload::Constraint& cons = query.constraint(c);
+    if (!cons.IsActive()) continue;
+    h = Mix(h, static_cast<uint64_t>(c));
+    h = Mix(h, static_cast<uint64_t>(cons.kind));
+    // kIn templates with different set sizes behave differently enough
+    // (selectivity scales with the set) that they make poor classmates; the
+    // set size is the only literal-adjacent value folded into the hash.
+    if (cons.kind == workload::Constraint::Kind::kIn) {
+      h = Mix(h, cons.in_codes.size());
+    }
+  }
+  return h;
+}
+
+QueryClass ClassifyQuery(const workload::Query& query,
+                         std::span<const int32_t> domains) {
+  UAE_CHECK_EQ(static_cast<size_t>(query.num_cols()), domains.size());
+  QueryClass qc;
+  qc.fss = QueryFss(query);
+  for (int c = 0; c < query.num_cols(); ++c) {
+    const workload::Constraint& cons = query.constraint(c);
+    if (!cons.IsActive()) continue;
+    const int32_t domain = std::max<int32_t>(1, domains[static_cast<size_t>(c)]);
+    int32_t lowest = 0;
+    switch (cons.kind) {
+      case workload::Constraint::Kind::kNone:
+        break;
+      case workload::Constraint::Kind::kRange:
+        lowest = cons.lo;
+        break;
+      case workload::Constraint::Kind::kNotEqual:
+        lowest = cons.neq;
+        break;
+      case workload::Constraint::Kind::kIn:
+        lowest = cons.in_codes.empty() ? 0 : cons.in_codes.front();
+        break;
+    }
+    const double frac_allowed =
+        static_cast<double>(cons.AllowedCount(domain)) / domain;
+    qc.features.push_back(static_cast<float>(
+        static_cast<double>(std::clamp<int32_t>(lowest, 0, domain)) / domain));
+    qc.features.push_back(static_cast<float>(frac_allowed));
+  }
+  return qc;
+}
+
+}  // namespace uae::router

@@ -1,0 +1,49 @@
+// Query classification for the hybrid estimator router.
+//
+// Every single-table query is mapped to a feature-subspace class (the AQO
+// "fss" idiom, same canonical-fold style as optimizer::SubplanFss): the class
+// hash covers the query's STRUCTURE — which columns are constrained and with
+// what constraint kind — while the literals become a small numeric feature
+// vector. Queries from one template ("WHERE a BETWEEN ? AND ? AND c = ?")
+// therefore share a class no matter the literal values, which is exactly the
+// granularity the router learns routing decisions and kNN models at: a hot
+// repeated template is one class with many (features, true card) points.
+//
+// Canonicality: workload::Query stores ONE intersected constraint per column
+// (kIn code lists kept sorted), and the fold walks columns in ascending
+// order, so semantically equal queries hash identically regardless of the
+// order predicates were added in.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "workload/query.h"
+
+namespace uae::router {
+
+/// Canonical structure hash of a query: number of columns, plus (column,
+/// constraint kind) for every active constraint, folded in ascending column
+/// order. Literal values do NOT contribute — they are features, not class
+/// identity.
+uint64_t QueryFss(const workload::Query& query);
+
+/// A classified query: the class hash plus the literal features the in-class
+/// kNN predicts from. Two features per active constraint, in ascending column
+/// order (the structure hash fixes which columns are active, so every query
+/// of a class has the same feature dimensionality):
+///   f0 = normalized position of the constraint's lowest allowed code,
+///   f1 = allowed fraction of the domain (the AVI selectivity of the clause).
+struct QueryClass {
+  uint64_t fss = 0;
+  std::vector<float> features;
+};
+
+/// Classifies `query` against per-column dictionary domains (`domains[c]` is
+/// column c's dictionary size; see data::Table). Deterministic and cheap —
+/// one pass over the constraint slots, no model evaluation.
+QueryClass ClassifyQuery(const workload::Query& query,
+                         std::span<const int32_t> domains);
+
+}  // namespace uae::router

@@ -1,0 +1,74 @@
+#include "serve/latency.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace uae::serve {
+
+size_t LatencyHistogram::BucketFor(uint64_t micros) {
+  if (micros < kSub) return static_cast<size_t>(micros);
+  const int msb = 63 - std::countl_zero(micros);
+  const size_t group = static_cast<size_t>(msb - kSubBits);
+  const size_t sub =
+      static_cast<size_t>((micros >> (msb - kSubBits)) & (kSub - 1));
+  return std::min(kBuckets - 1, kSub + group * kSub + sub);
+}
+
+uint64_t LatencyHistogram::BucketValue(size_t bucket) {
+  if (bucket < kSub) return bucket;
+  const size_t group = (bucket - kSub) / kSub;
+  const size_t sub = (bucket - kSub) % kSub;
+  const uint64_t width = 1ull << group;  // Sub-bucket width in this octave.
+  const uint64_t lo = (kSub << group) + sub * width;
+  return lo + width / 2;
+}
+
+void LatencyHistogram::Record(uint64_t micros) {
+  counts_[BucketFor(micros)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(micros, std::memory_order_relaxed);
+  uint64_t prev = max_us_.load(std::memory_order_relaxed);
+  while (prev < micros &&
+         !max_us_.compare_exchange_weak(prev, micros,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+LatencySnapshot LatencyHistogram::Snapshot() const {
+  uint64_t counts[kBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = counts_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  LatencySnapshot snap;
+  snap.count = total;
+  snap.max_us = max_us_.load(std::memory_order_relaxed);
+  if (total == 0) return snap;
+  snap.mean_us = static_cast<double>(sum_us_.load(std::memory_order_relaxed)) /
+                 static_cast<double>(count_.load(std::memory_order_relaxed));
+
+  // Quantile = representative value of the first bucket whose cumulative
+  // count reaches ceil(q * total). Bounded by the bucket width (<= 12.5%
+  // relative) like any fixed-bucket histogram.
+  const auto quantile = [&](double q) -> double {
+    const uint64_t target = std::max<uint64_t>(
+        1, static_cast<uint64_t>(q * static_cast<double>(total) + 0.9999999));
+    uint64_t cum = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      cum += counts[i];
+      if (cum >= target) {
+        // Never report beyond the observed max (coarse top buckets).
+        return static_cast<double>(
+            std::min<uint64_t>(BucketValue(i), snap.max_us));
+      }
+    }
+    return static_cast<double>(snap.max_us);
+  };
+  snap.p50_us = quantile(0.50);
+  snap.p95_us = quantile(0.95);
+  snap.p99_us = quantile(0.99);
+  return snap;
+}
+
+}  // namespace uae::serve

@@ -1,0 +1,56 @@
+// Lock-free latency histogram for the serving path (the observability gap
+// the router's degradation trigger reads: before this, serve/ had request
+// counters but no latency distribution at all).
+//
+// Log-bucketed counters in the HdrHistogram style: values below 8 us get
+// exact buckets; above that, each power-of-two octave is split into 8
+// sub-buckets, so relative error is bounded by ~12.5% across the whole range
+// (up to ~2^34 us ≈ 4.8 hours, far beyond any request latency). Record() is
+// a handful of relaxed atomic increments — cheap enough to sit on the
+// per-request hot path — and Snapshot() walks the counters to produce
+// count / mean / p50 / p95 / p99 / max. Concurrent Record/Snapshot is safe;
+// a snapshot taken during recording is some valid interleaving prefix.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace uae::serve {
+
+struct LatencySnapshot {
+  uint64_t count = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  uint64_t max_us = 0;  ///< Exact (tracked outside the buckets).
+};
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Records one observation, in microseconds.
+  void Record(uint64_t micros);
+
+  LatencySnapshot Snapshot() const;
+
+  // Bucket layout, exposed for tests: values < kSub map to exact buckets;
+  // larger values to octave (kSub + 8*group + sub) buckets.
+  static constexpr int kSubBits = 3;
+  static constexpr uint64_t kSub = 1ull << kSubBits;        // 8
+  static constexpr size_t kBuckets = kSub + kSub * 31;      // up to 2^34 us
+  static size_t BucketFor(uint64_t micros);
+  /// Representative value reported for a bucket (its midpoint).
+  static uint64_t BucketValue(size_t bucket);
+
+ private:
+  std::atomic<uint64_t> counts_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_us_{0};
+  std::atomic<uint64_t> max_us_{0};
+};
+
+}  // namespace uae::serve

@@ -14,6 +14,7 @@ bool MicroBatcher::Push(EstimateRequest&& request) {
   std::unique_lock<std::mutex> lock(mu_);
   not_full_.wait(lock, [this] { return closed_ || queue_.size() < capacity_; });
   if (closed_) return false;
+  request.enqueued_at = std::chrono::steady_clock::now();
   queue_.push_back(std::move(request));
   lock.unlock();
   not_empty_.notify_one();
@@ -26,8 +27,12 @@ std::vector<EstimateRequest> MicroBatcher::PopBatch() {
   not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
   if (queue_.empty()) return batch;  // Closed and drained.
 
-  // The batch opens at first arrival; admit more until size or deadline.
-  const auto deadline = std::chrono::steady_clock::now() + max_wait_;
+  // The batch's deadline is anchored at its oldest request's ARRIVAL, not at
+  // dispatcher wake-up: if the dispatcher lagged (busy with the previous
+  // batch), anchoring here at now() would let a request wait up to ~2x
+  // max_wait between Push and dispatch. An already-expired deadline just
+  // means "flush whatever is queued without parking".
+  const auto deadline = queue_.front().enqueued_at + max_wait_;
   for (;;) {
     bool drained = false;
     while (!queue_.empty() && batch.size() < max_batch_) {
@@ -50,6 +55,19 @@ std::vector<EstimateRequest> MicroBatcher::PopBatch() {
   lock.unlock();
   not_full_.notify_all();
   return batch;
+}
+
+size_t MicroBatcher::Depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+uint64_t MicroBatcher::OldestWaitMicros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return 0;
+  const auto wait = std::chrono::steady_clock::now() - queue_.front().enqueued_at;
+  return static_cast<uint64_t>(std::max<int64_t>(
+      0, std::chrono::duration_cast<std::chrono::microseconds>(wait).count()));
 }
 
 void MicroBatcher::Close() {

@@ -4,8 +4,11 @@
 // (backpressure: Push blocks while the queue is at capacity). A dispatcher
 // thread drains with PopBatch(): it blocks until at least one request is
 // queued, then keeps admitting arrivals until either `max_batch` requests are
-// collected or `max_wait` has elapsed since the batch opened — the classic
-// size-or-deadline coalescing policy. Close() wakes everyone and makes
+// collected or `max_wait` has elapsed since the batch's OLDEST request was
+// pushed — the classic size-or-deadline coalescing policy, with the deadline
+// anchored at admission so a lagging dispatcher cannot extend a request's
+// wait beyond max_wait from the moment it entered the queue. Close() wakes
+// everyone and makes
 // further Push calls fail so the dispatcher can drain and exit.
 #pragma once
 
@@ -43,6 +46,9 @@ struct EstimateRequest {
   uint32_t join_mask = 0;  ///< 0: single-table; else JoinQuery::table_mask.
   uint64_t fingerprint = 0;
   std::promise<ServeResult> promise;
+  /// Stamped by MicroBatcher::Push at admission. Anchors the batch deadline
+  /// and feeds the queue-wait observability hooks; callers leave it alone.
+  std::chrono::steady_clock::time_point enqueued_at{};
 };
 
 class MicroBatcher {
@@ -62,6 +68,12 @@ class MicroBatcher {
   /// Unblocks producers and the dispatcher; queued requests still drain.
   void Close();
 
+  // ---- Load observability (the router's degradation probe reads these) ----
+  /// Requests currently queued (admitted, not yet popped into a batch).
+  size_t Depth() const;
+  /// Microseconds the oldest queued request has been waiting; 0 when empty.
+  uint64_t OldestWaitMicros() const;
+
   size_t max_batch() const { return max_batch_; }
 
  private:
@@ -69,7 +81,7 @@ class MicroBatcher {
   const size_t max_batch_;
   const std::chrono::microseconds max_wait_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<EstimateRequest> queue_;

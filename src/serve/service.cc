@@ -170,6 +170,16 @@ void EstimationService::RunBatch(std::vector<EstimateRequest> batch) {
                                                     std::memory_order_relaxed)) {
   }
 
+  // Queue-wait accounting: how long each request sat between Push and this
+  // dispatch (the latency the micro-batcher's deadline bounds).
+  const auto dispatched_at = std::chrono::steady_clock::now();
+  for (const EstimateRequest& request : batch) {
+    const auto wait = dispatched_at - request.enqueued_at;
+    queue_latency_.Record(static_cast<uint64_t>(std::max<int64_t>(
+        0,
+        std::chrono::duration_cast<std::chrono::microseconds>(wait).count())));
+  }
+
   // The whole batch runs against ONE snapshot — grabbed once, held to the
   // end — so every response in it is attributable to a single generation
   // even if a publish lands mid-batch.

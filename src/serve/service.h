@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "core/servable.h"
+#include "serve/latency.h"
 #include "serve/micro_batcher.h"
 #include "serve/result_cache.h"
 #include "serve/snapshot.h"
@@ -120,6 +121,18 @@ class EstimationService {
   ResultCacheStats CacheStats() const { return cache_.Stats(); }
   const ServiceConfig& config() const { return config_; }
 
+  // ---- Load / latency observability ----------------------------------------
+  // Instantaneous queue signals plus the queue-wait distribution. This is
+  // what a router::LoadProbe reads to decide when the serving path is
+  // breaching its latency SLO (router/router.h) — before these hooks the
+  // serving layer had request counters but no latency visibility at all.
+  /// Requests admitted to the micro-batch queue and not yet dispatched.
+  size_t QueueDepth() const { return batcher_.Depth(); }
+  /// Microseconds the oldest queued request has waited (0 when idle).
+  uint64_t OldestQueuedWaitMicros() const { return batcher_.OldestWaitMicros(); }
+  /// Distribution of Push -> dispatch queue waits over batched requests.
+  LatencySnapshot QueueLatency() const { return queue_latency_.Snapshot(); }
+
   // Per-generation accounting: every response is attributed to exactly one
   // snapshot generation (the one that produced — or cached — its value), so
   // summing these counters over all generations equals Stats().requests.
@@ -157,6 +170,7 @@ class EstimationService {
   std::atomic<uint64_t> batched_queries_{0};
   std::atomic<uint64_t> max_batch_observed_{0};
   std::atomic<uint64_t> snapshots_published_{0};
+  LatencyHistogram queue_latency_;  ///< Push -> dispatch wait per request.
 
   /// Per-generation response counters, striped by caller thread so the
   /// cache-hit fast path (which bumps once per request) never serializes

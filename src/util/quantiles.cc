@@ -8,15 +8,20 @@
 
 namespace uae::util {
 
+double QuantileSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  UAE_CHECK(q >= 0.0 && q <= 1.0);
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
 double Quantile(std::vector<double> xs, double q) {
   if (xs.empty()) return 0.0;
-  UAE_CHECK(q >= 0.0 && q <= 1.0);
   std::sort(xs.begin(), xs.end());
-  double pos = q * static_cast<double>(xs.size() - 1);
-  size_t lo = static_cast<size_t>(pos);
-  size_t hi = std::min(lo + 1, xs.size() - 1);
-  double frac = pos - static_cast<double>(lo);
-  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+  return QuantileSorted(xs, q);
 }
 
 ErrorSummary Summarize(const std::vector<double>& errors) {
@@ -30,17 +35,25 @@ ErrorSummary Summarize(const std::vector<double>& errors) {
     mx = std::max(mx, e);
   }
   s.mean = total / static_cast<double>(errors.size());
-  s.median = Quantile(errors, 0.5);
-  s.p95 = Quantile(errors, 0.95);
-  s.p99 = Quantile(errors, 0.99);
+  // One copy + one sort for all three quantiles (this used to call
+  // Quantile() three times, copying and sorting the sample each time).
+  std::vector<double> sorted = errors;
+  std::sort(sorted.begin(), sorted.end());
+  s.median = QuantileSorted(sorted, 0.5);
+  s.p95 = QuantileSorted(sorted, 0.95);
+  s.p99 = QuantileSorted(sorted, 0.99);
   s.max = mx;
   return s;
 }
 
 std::string FormatError(double v) {
   char buf[64];
-  if (!std::isfinite(v)) {
-    std::snprintf(buf, sizeof(buf), "inf");
+  if (std::isnan(v)) {
+    // NaN used to print as "inf", hiding poisoned summaries behind a value
+    // that reads as "merely overflowed".
+    std::snprintf(buf, sizeof(buf), "nan");
+  } else if (!std::isfinite(v)) {
+    std::snprintf(buf, sizeof(buf), v < 0 ? "-inf" : "inf");
   } else if (v >= 1e4) {
     std::snprintf(buf, sizeof(buf), "%.1e", v);
   } else if (v >= 100.0) {

@@ -10,6 +10,11 @@ namespace uae::util {
 /// Linear-interpolation quantile of an unsorted sample; q in [0,1].
 double Quantile(std::vector<double> xs, double q);
 
+/// Same interpolation over an ALREADY-SORTED sample — no copy, no sort.
+/// Callers that need several quantiles of one sample sort once and use this
+/// (Summarize does); the result is bitwise identical to Quantile().
+double QuantileSorted(const std::vector<double>& sorted, double q);
+
 /// The four statistics every results table in the paper reports.
 struct ErrorSummary {
   double mean = 0.0;

@@ -232,6 +232,23 @@ TEST(ServeServiceTest, CacheStatsReconcileWithServiceCounters) {
   EXPECT_GT(service.CacheStats().evictions, before);
 }
 
+TEST(ServeServiceTest, QueueLatencyAndDepthObservability) {
+  Fixture& f = Shared();
+  ServiceConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 200;
+  cfg.cache_enabled = false;  // Force every request through the queue.
+  EstimationService service(f.uae, cfg);
+  for (size_t i = 0; i < 3; ++i) {
+    (void)service.Estimate(f.queries[i % f.queries.size()]);
+  }
+  LatencySnapshot lat = service.QueueLatency();
+  EXPECT_GE(lat.count, 3u);  // Every queued request's wait was recorded.
+  EXPECT_GE(lat.p99_us, lat.p50_us);
+  EXPECT_GE(static_cast<double>(lat.max_us) * 1.125, lat.p99_us);
+  EXPECT_EQ(service.QueueDepth(), 0u);  // Blocking calls leave the queue idle.
+}
+
 // ---- MicroBatcher unit coverage -------------------------------------------
 
 TEST(MicroBatcherTest, CoalescesUpToMaxBatch) {
@@ -261,6 +278,47 @@ TEST(MicroBatcherTest, DeadlineFlushesPartialBatch) {
   EXPECT_EQ(batch.size(), 1u);
   // Must flush at the deadline, far before any "wait for 1000 requests".
   EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+TEST(MicroBatcherTest, DeadlineAnchorsAtArrivalNotDispatcherWakeup) {
+  // Regression: the admission deadline used to be anchored at dispatcher
+  // wake-up (`now() + max_wait` inside PopBatch). With a dispatcher that
+  // lags behind Push — busy running the previous batch — a request could
+  // wait its queue time PLUS a full max_wait, up to ~2x the configured
+  // bound. The deadline is now anchored at the oldest queued request's
+  // arrival: if max_wait already elapsed in the queue, PopBatch must flush
+  // immediately instead of parking for another max_wait.
+  constexpr auto kMaxWait = std::chrono::microseconds(200'000);
+  MicroBatcher batcher(/*queue_capacity=*/64, /*max_batch=*/1000, kMaxWait);
+  EstimateRequest req;
+  ASSERT_TRUE(batcher.Push(std::move(req)));
+  // Deliberately delayed dispatcher: the request ages past max_wait.
+  std::this_thread::sleep_for(kMaxWait + std::chrono::microseconds(20'000));
+  auto start = std::chrono::steady_clock::now();
+  std::vector<EstimateRequest> batch = batcher.PopBatch();
+  auto parked = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(batch.size(), 1u);
+  // Pre-fix this parked for the full 200ms max_wait; post-fix the deadline
+  // is already expired and the flush is immediate. Half max_wait keeps the
+  // margin symmetric against scheduler noise.
+  EXPECT_LT(parked, kMaxWait / 2);
+}
+
+TEST(MicroBatcherTest, DepthAndOldestWaitTrackQueue) {
+  MicroBatcher batcher(/*queue_capacity=*/64, /*max_batch=*/4,
+                       std::chrono::microseconds(100'000));
+  EXPECT_EQ(batcher.Depth(), 0u);
+  EXPECT_EQ(batcher.OldestWaitMicros(), 0u);
+  for (int i = 0; i < 3; ++i) {
+    EstimateRequest req;
+    ASSERT_TRUE(batcher.Push(std::move(req)));
+  }
+  EXPECT_EQ(batcher.Depth(), 3u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(batcher.OldestWaitMicros(), 1'000u);  // Aged at least a little.
+  EXPECT_EQ(batcher.PopBatch().size(), 3u);
+  EXPECT_EQ(batcher.Depth(), 0u);
+  EXPECT_EQ(batcher.OldestWaitMicros(), 0u);
 }
 
 TEST(MicroBatcherTest, CloseDrainsAndUnblocks) {

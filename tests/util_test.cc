@@ -1,7 +1,9 @@
 // util/: status, rng determinism + distributions, threadpool, math, quantiles,
 // CSV round-trip, string helpers.
+#include <algorithm>
 #include <cmath>
 #include <filesystem>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -153,6 +155,40 @@ TEST(QuantilesTest, Summarize) {
   EXPECT_DOUBLE_EQ(s.max, 100.0);
   EXPECT_NEAR(s.p95, 95.0, 1.0);
   EXPECT_EQ(s.count, 100u);
+}
+
+TEST(QuantilesTest, SummarizeBitwiseMatchesPerQuantileSorts) {
+  // Regression for the single-sort Summarize: it used to call Quantile()
+  // three times (copy + sort each); the one-sort-and-index path must stay
+  // BITWISE identical to per-quantile Quantile() calls on the same sample.
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 501; ++i) {
+    xs.push_back(std::exp(rng.Uniform() * 20.0 - 10.0));
+  }
+  ErrorSummary s = Summarize(xs);
+  EXPECT_EQ(s.median, Quantile(xs, 0.5));
+  EXPECT_EQ(s.p95, Quantile(xs, 0.95));
+  EXPECT_EQ(s.p99, Quantile(xs, 0.99));
+}
+
+TEST(QuantilesTest, QuantileSortedMatchesQuantile) {
+  std::vector<double> xs = {5, 1, 3, 2, 4, 9, 7};
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(QuantileSorted(sorted, q), Quantile(xs, q)) << "q=" << q;
+  }
+  EXPECT_EQ(QuantileSorted({}, 0.5), 0.0);
+}
+
+TEST(QuantilesTest, FormatErrorDistinguishesNanFromInf) {
+  // Regression: NaN used to format as "inf".
+  EXPECT_EQ(FormatError(std::numeric_limits<double>::quiet_NaN()), "nan");
+  EXPECT_EQ(FormatError(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(FormatError(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(FormatError(1.0), "1.000");
+  EXPECT_EQ(FormatError(123.4), "123.4");
 }
 
 TEST(CsvTest, RoundTripWithQuoting) {
