@@ -1,0 +1,82 @@
+// AppendOnlyStore — the storage primitive of the streaming-ingest delta
+// region: an append-only sequence with *block-stable* storage.
+//
+// Concurrency contract (single-writer / many-readers, lock-free reads):
+//   * Exactly ONE thread appends (the ingest apply thread; external
+//     serialization is the caller's job).
+//   * Any number of reader threads may concurrently call size() and at(i)
+//     for i < a size() they observed. Elements live in fixed-size heap
+//     blocks that are never moved, resized, or freed while the store is
+//     alive, so a published element's address is stable forever.
+//   * The writer publishes each element with a release store of the size
+//     counter; a reader's acquire load of size() is the only synchronization
+//     it needs — everything below that index is fully written.
+//   * Clear() and CopySnapshotFrom() mutate non-atomically and require
+//     exclusive access (the compactor runs them under the ingest write lock).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+#include "util/common.h"
+
+namespace uae::data {
+
+template <typename T, size_t BlockElems = 4096, size_t MaxBlocks = 4096>
+class AppendOnlyStore {
+ public:
+  AppendOnlyStore() = default;
+  ~AppendOnlyStore() {
+    for (auto& slot : blocks_) delete slot.load(std::memory_order_relaxed);
+  }
+  AppendOnlyStore(const AppendOnlyStore&) = delete;
+  AppendOnlyStore& operator=(const AppendOnlyStore&) = delete;
+
+  static constexpr size_t capacity() { return BlockElems * MaxBlocks; }
+
+  /// Published element count (acquire: everything below it is readable).
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  /// Element i; the caller must have obtained i < size() first.
+  const T& at(size_t i) const {
+    const Block* b = blocks_[i / BlockElems].load(std::memory_order_acquire);
+    UAE_DCHECK(b != nullptr);
+    return b->elems[i % BlockElems];
+  }
+
+  /// Single-writer append; publishes the element before returning.
+  void Append(T v) {
+    const size_t i = size_.load(std::memory_order_relaxed);
+    UAE_CHECK(i < capacity()) << "AppendOnlyStore full: compact first";
+    const size_t slot = i / BlockElems;
+    Block* b = blocks_[slot].load(std::memory_order_relaxed);
+    if (b == nullptr) {
+      b = new Block();
+      blocks_[slot].store(b, std::memory_order_release);
+    }
+    b->elems[i % BlockElems] = std::move(v);
+    size_.store(i + 1, std::memory_order_release);
+  }
+
+  /// Resets to empty, keeping allocated blocks for reuse. Exclusive access.
+  void Clear() { size_.store(0, std::memory_order_release); }
+
+  /// Replaces this store's contents with the first `n` elements of `other`
+  /// (n <= other.size()). Exclusive access on *this*; `other` may have a
+  /// live writer — its first n elements are immutable once published.
+  void CopySnapshotFrom(const AppendOnlyStore& other, size_t n) {
+    Clear();
+    for (size_t i = 0; i < n; ++i) Append(other.at(i));
+  }
+
+ private:
+  struct Block {
+    std::array<T, BlockElems> elems;
+  };
+  std::array<std::atomic<Block*>, MaxBlocks> blocks_{};
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace uae::data

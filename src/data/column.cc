@@ -4,6 +4,64 @@
 
 namespace uae::data {
 
+Column::~Column() { delete delta_.load(std::memory_order_relaxed); }
+
+void Column::CopyFrom(const Column& other) {
+  name_ = other.name_;
+  dict_ = other.dict_;
+  codes_ = other.codes_;
+  freq_ = other.freq_;
+  freq_dirty_ = other.freq_dirty_;
+  freq_rows_ = other.freq_rows_;
+  // Snapshot-copy the delta state: published elements of a live store are
+  // immutable, so copying up to the published counts is safe even while
+  // `other`'s single writer keeps appending.
+  delete delta_.load(std::memory_order_relaxed);
+  delta_.store(nullptr, std::memory_order_relaxed);
+  const DeltaState* src = other.delta_state();
+  if (src != nullptr) {
+    const size_t n_codes = src->codes.size();
+    const size_t n_over = src->overflow.size();
+    if (n_codes > 0 || n_over > 0) {
+      auto* mine = new DeltaState();
+      mine->codes.CopySnapshotFrom(src->codes, n_codes);
+      mine->overflow.CopySnapshotFrom(src->overflow, n_over);
+      delta_.store(mine, std::memory_order_release);
+    }
+  }
+}
+
+Column::Column(const Column& other) { CopyFrom(other); }
+
+Column& Column::operator=(const Column& other) {
+  if (this != &other) CopyFrom(other);
+  return *this;
+}
+
+Column::Column(Column&& other) noexcept
+    : name_(std::move(other.name_)),
+      dict_(std::move(other.dict_)),
+      codes_(std::move(other.codes_)),
+      delta_(other.delta_.exchange(nullptr, std::memory_order_acq_rel)),
+      freq_(std::move(other.freq_)),
+      freq_dirty_(other.freq_dirty_),
+      freq_rows_(other.freq_rows_) {}
+
+Column& Column::operator=(Column&& other) noexcept {
+  if (this != &other) {
+    name_ = std::move(other.name_);
+    dict_ = std::move(other.dict_);
+    codes_ = std::move(other.codes_);
+    delete delta_.load(std::memory_order_relaxed);
+    delta_.store(other.delta_.exchange(nullptr, std::memory_order_acq_rel),
+                 std::memory_order_release);
+    freq_ = std::move(other.freq_);
+    freq_dirty_ = other.freq_dirty_;
+    freq_rows_ = other.freq_rows_;
+  }
+  return *this;
+}
+
 Column Column::FromValues(std::string name, const std::vector<Value>& values) {
   Column col;
   col.name_ = std::move(name);
@@ -46,10 +104,55 @@ Column Column::FromCodes(std::string name, std::vector<int32_t> codes, int32_t d
   return col;
 }
 
+size_t Column::delta_rows() const {
+  const DeltaState* d = delta_state();
+  return d == nullptr ? 0 : d->codes.size();
+}
+
+int32_t Column::overflow_size() const {
+  const DeltaState* d = delta_state();
+  return d == nullptr ? 0 : static_cast<int32_t>(d->overflow.size());
+}
+
+int32_t Column::DeltaCodeAt(size_t delta_row) const {
+  const DeltaState* d = delta_state();
+  UAE_DCHECK(d != nullptr && delta_row < d->codes.size());
+  return d->codes.at(delta_row);
+}
+
+const Value& Column::OverflowValue(int32_t code) const {
+  const DeltaState* d = delta_state();
+  UAE_DCHECK(d != nullptr);
+  UAE_DCHECK(code >= domain() && code < total_domain());
+  return d->overflow.at(static_cast<size_t>(code - domain()));
+}
+
+Column::DeltaState& Column::EnsureDelta() {
+  DeltaState* d = delta_.load(std::memory_order_relaxed);
+  if (d == nullptr) {
+    d = new DeltaState();
+    delta_.store(d, std::memory_order_release);
+  }
+  return *d;
+}
+
 std::optional<int32_t> Column::CodeForValue(const Value& v) const {
   auto it = std::lower_bound(dict_.begin(), dict_.end(), v);
-  if (it == dict_.end() || !(*it == v)) return std::nullopt;
-  return static_cast<int32_t>(it - dict_.begin());
+  if (it != dict_.end() && *it == v) {
+    return static_cast<int32_t>(it - dict_.begin());
+  }
+  // Overflow dictionary: arrival-ordered, linear scan (it stays small — the
+  // compactor bounds the delta region, and most appended values are seen).
+  const DeltaState* d = delta_state();
+  if (d != nullptr) {
+    const size_t n = d->overflow.size();
+    for (size_t i = 0; i < n; ++i) {
+      if (d->overflow.at(i) == v) {
+        return domain() + static_cast<int32_t>(i);
+      }
+    }
+  }
+  return std::nullopt;
 }
 
 int32_t Column::LowerBoundCode(const Value& v) const {
@@ -62,23 +165,63 @@ int32_t Column::UpperBoundCode(const Value& v) const {
   return static_cast<int32_t>(it - dict_.begin());
 }
 
+int32_t Column::CodeForAppend(const Value& v) {
+  if (std::optional<int32_t> code = CodeForValue(v)) return *code;
+  DeltaState& d = EnsureDelta();
+  const int32_t code = domain() + static_cast<int32_t>(d.overflow.size());
+  d.overflow.Append(v);
+  return code;
+}
+
+void Column::AppendDeltaCode(int32_t code) {
+  UAE_DCHECK(code >= 0 && code < total_domain());
+  EnsureDelta().codes.Append(code);
+}
+
+size_t Column::FoldDelta() {
+  DeltaState* d = delta_.load(std::memory_order_relaxed);
+  if (d == nullptr) return 0;
+  const size_t n = d->codes.size();
+  codes_.reserve(codes_.size() + n);
+  for (size_t i = 0; i < n; ++i) codes_.push_back(d->codes.at(i));
+  d->codes.Clear();
+  freq_dirty_ = true;
+  return n;
+}
+
 Column Column::Gather(std::span<const size_t> rows) const {
   Column out;
   out.name_ = name_;
   out.dict_ = dict_;
+  [[maybe_unused]] const size_t limit = num_rows();
   out.codes_.reserve(rows.size());
   for (size_t r : rows) {
-    UAE_DCHECK(r < codes_.size());
-    out.codes_.push_back(codes_[r]);
+    UAE_DCHECK(r < limit);
+    out.codes_.push_back(code_at(r));
+  }
+  // Share the overflow dictionary (snapshot): gathered codes above the frozen
+  // domain keep decoding to their values in the gathered column.
+  const DeltaState* d = delta_state();
+  if (d != nullptr && d->overflow.size() > 0) {
+    auto* mine = new DeltaState();
+    mine->overflow.CopySnapshotFrom(d->overflow, d->overflow.size());
+    out.delta_.store(mine, std::memory_order_release);
   }
   return out;
 }
 
 const std::vector<int64_t>& Column::Frequencies() const {
-  if (freq_dirty_) {
-    freq_.assign(dict_.size(), 0);
+  const size_t live_rows = num_rows();
+  const size_t dom = static_cast<size_t>(total_domain());
+  if (freq_dirty_ || freq_rows_ != live_rows || freq_.size() != dom) {
+    freq_.assign(dom, 0);
     for (int32_t c : codes_) ++freq_[static_cast<size_t>(c)];
+    const size_t n_delta = live_rows - codes_.size();
+    for (size_t i = 0; i < n_delta; ++i) {
+      ++freq_[static_cast<size_t>(DeltaCodeAt(i))];
+    }
     freq_dirty_ = false;
+    freq_rows_ = live_rows;
   }
   return freq_;
 }

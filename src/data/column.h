@@ -1,13 +1,35 @@
 // Dictionary-encoded column with an *order-preserving* dictionary: code order
 // equals value order, so range predicates on values become code intervals.
+//
+// Streaming ingest adds two regions on top of the frozen base:
+//
+//   * Delta region — appended row codes live in a block-stable append-only
+//     store (data/append_store.h): one external writer (the ingest apply
+//     thread) appends, readers index lock-free below the published count.
+//     code_at()/num_rows() span base + delta; FoldDelta() (the compactor,
+//     under exclusive access) moves delta codes into the base vector.
+//   * Overflow dictionary — values never seen at freeze time get stable codes
+//     ABOVE the frozen domain() in arrival order. Codes are never remapped:
+//     compiled queries and trained models keep meaning the same thing while
+//     rows stream in. Overflow codes are NOT order-preserving (equality/IN
+//     predicates resolve them exactly; range predicates over them need the
+//     value-aware matching in ingest/delta_model).
+//
+// Thread-safety: appends (AppendDeltaCode / CodeForAppend) are single-writer;
+// dictionary lookups and code_at() below a published num_rows() are safe
+// concurrently with that writer. FoldDelta() and Frequencies() require
+// quiescence (no concurrent readers of rows / no concurrent writer) — the
+// ingest layer serializes them behind its table lock.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "data/append_store.h"
 #include "data/value.h"
 #include "util/common.h"
 
@@ -16,6 +38,12 @@ namespace uae::data {
 class Column {
  public:
   Column() = default;
+  ~Column();
+  Column(const Column& other);
+  Column& operator=(const Column& other);
+  Column(Column&& other) noexcept;
+  Column& operator=(Column&& other) noexcept;
+
   /// Builds the sorted dictionary from raw values and encodes every row.
   static Column FromValues(std::string name, const std::vector<Value>& values);
   /// Fast path for integer data: dictionary = sorted distinct ints.
@@ -25,45 +53,107 @@ class Column {
   static Column FromCodes(std::string name, std::vector<int32_t> codes, int32_t domain);
 
   const std::string& name() const { return name_; }
-  size_t num_rows() const { return codes_.size(); }
-  int32_t domain() const { return static_cast<int32_t>(dict_.size()); }
-  const std::vector<int32_t>& codes() const { return codes_; }
-  int32_t code_at(size_t row) const { return codes_[row]; }
+  /// Live row count: base + published delta rows. Under concurrent ingest a
+  /// column's count may transiently lead the owning Table's num_rows() (the
+  /// table publishes a row only after every column appended); the table's
+  /// count is the authoritative bound for row scans.
+  size_t num_rows() const { return codes_.size() + delta_rows(); }
+  size_t base_rows() const { return codes_.size(); }
+  size_t delta_rows() const;
 
-  const Value& ValueForCode(int32_t code) const {
-    UAE_DCHECK(code >= 0 && code < domain());
-    return dict_[static_cast<size_t>(code)];
+  /// The frozen, order-preserving dictionary size. Codes in [0, domain()) are
+  /// value-ordered; trained models and shard maps are built over this space.
+  int32_t domain() const { return static_cast<int32_t>(dict_.size()); }
+  /// Frozen domain + overflow values: every code ever handed out is below
+  /// this. Monotone under ingest, never remapped.
+  int32_t total_domain() const { return domain() + overflow_size(); }
+  int32_t overflow_size() const;
+
+  /// Base-region codes only (training-time API; delta rows via code_at()).
+  const std::vector<int32_t>& codes() const { return codes_; }
+  int32_t code_at(size_t row) const {
+    return row < codes_.size() ? codes_[row]
+                               : DeltaCodeAt(row - codes_.size());
   }
 
-  /// Exact code for a value, if present.
+  /// Value for any code ever handed out, including overflow codes.
+  const Value& ValueForCode(int32_t code) const {
+    if (code >= 0 && code < domain()) return dict_[static_cast<size_t>(code)];
+    return OverflowValue(code);
+  }
+
+  /// Exact code for a value, if present — checks the frozen dictionary first,
+  /// then the overflow dictionary (so a query literal naming a streamed-in
+  /// value compiles without any dictionary rebuild).
   std::optional<int32_t> CodeForValue(const Value& v) const;
-  /// Smallest code whose value is >= v (== domain() if none).
+  /// Smallest code whose value is >= v (== domain() if none). Frozen
+  /// dictionary only: overflow codes carry no order.
   int32_t LowerBoundCode(const Value& v) const;
   /// Smallest code whose value is > v (== domain() if none).
   int32_t UpperBoundCode(const Value& v) const;
 
-  /// Per-code frequencies (lazily computed, cached).
+  /// Code for an appended value: the frozen code if the value is known, the
+  /// existing overflow code if it streamed in before, or a freshly assigned
+  /// stable code above the frozen domain. Single-writer (the ingest apply
+  /// thread); concurrent readers may race CodeForValue safely.
+  int32_t CodeForAppend(const Value& v);
+
+  /// Per-code frequencies over all live rows, sized total_domain().
+  /// Lazily computed and cached; requires quiescence (no concurrent writer).
   const std::vector<int64_t>& Frequencies() const;
 
   /// A new column over the selected rows (in the given order) sharing this
-  /// column's *full* dictionary, so codes — and therefore compiled query
-  /// constraints — mean the same thing in the gathered column even for values
-  /// that no selected row carries. This is what horizontal partitioning needs:
-  /// every shard answers queries in the global code space.
+  /// column's *full* dictionary — frozen and overflow — so codes, and
+  /// therefore compiled query constraints, mean the same thing in the
+  /// gathered column even for values that no selected row carries. This is
+  /// what horizontal partitioning needs: every shard answers queries in the
+  /// global code space. Rows may point into the delta region; the gathered
+  /// column materializes them into its base region (a snapshot).
   Column Gather(std::span<const size_t> rows) const;
 
+  /// Base-region append (bulk loading). Must not be mixed with an open delta
+  /// region — appended rows would jump the queue ahead of delta rows.
   void AppendCode(int32_t code) {
-    UAE_DCHECK(code >= 0 && code < domain());
+    UAE_DCHECK(code >= 0 && code < total_domain());
+    UAE_DCHECK(delta_rows() == 0);
     codes_.push_back(code);
     freq_dirty_ = true;
   }
 
+  /// Delta-region append: publishes the code before returning. Single-writer.
+  void AppendDeltaCode(int32_t code);
+
+  /// Moves every published delta code into the base region, preserving row
+  /// order (row indices are unchanged: delta row k becomes base row
+  /// base_rows()+k). Requires exclusive access. Returns rows folded.
+  size_t FoldDelta();
+
  private:
+  /// Delta-region state, allocated on first streaming append so static
+  /// columns pay nothing. The pointer is atomic: readers may race the
+  /// writer's first append.
+  struct DeltaState {
+    /// Appended row codes (single writer, lock-free readers).
+    AppendOnlyStore<int32_t, 4096, 4096> codes;
+    /// Arrival-ordered unseen values; overflow code = domain() + index.
+    AppendOnlyStore<Value, 256, 256> overflow;
+  };
+
+  DeltaState* delta_state() const {
+    return delta_.load(std::memory_order_acquire);
+  }
+  DeltaState& EnsureDelta();  ///< Single-writer.
+  int32_t DeltaCodeAt(size_t delta_row) const;
+  const Value& OverflowValue(int32_t code) const;
+  void CopyFrom(const Column& other);
+
   std::string name_;
-  std::vector<Value> dict_;  // Sorted ascending.
+  std::vector<Value> dict_;  // Sorted ascending; frozen at build time.
   std::vector<int32_t> codes_;
+  std::atomic<DeltaState*> delta_{nullptr};
   mutable std::vector<int64_t> freq_;
   mutable bool freq_dirty_ = true;
+  mutable size_t freq_rows_ = 0;  ///< Rows counted when freq_ was cached.
 };
 
 }  // namespace uae::data

@@ -1,16 +1,60 @@
 #include "data/table.h"
 
 #include <algorithm>
+#include <numeric>
 
 namespace uae::data {
 
 Table::Table(std::string name, std::vector<Column> columns)
     : name_(std::move(name)), columns_(std::move(columns)) {
   UAE_CHECK(!columns_.empty());
-  num_rows_ = columns_[0].num_rows();
+  num_rows_ = columns_[0].base_rows();
   for (const auto& c : columns_) {
-    UAE_CHECK_EQ(c.num_rows(), num_rows_) << "ragged columns in table " << name_;
+    UAE_CHECK_EQ(c.base_rows(), num_rows_) << "ragged columns in table " << name_;
+    UAE_CHECK_EQ(c.delta_rows(), size_t{0})
+        << "table constructed from a column with an open delta region";
   }
+}
+
+void Table::CopyFrom(const Table& other) {
+  name_ = other.name_;
+  num_rows_ = other.num_rows_;
+  // Load the published delta count BEFORE copying columns: each column
+  // snapshot then holds at least this many delta codes, so the copied table
+  // never claims rows its columns lack. (Column counts may lead the table
+  // count; the table count is authoritative.)
+  const size_t published = other.delta_rows_.load(std::memory_order_acquire);
+  columns_ = other.columns_;
+  delta_rows_.store(published, std::memory_order_release);
+  folds_.store(other.folds_.load(std::memory_order_acquire),
+               std::memory_order_release);
+}
+
+Table::Table(const Table& other) { CopyFrom(other); }
+
+Table& Table::operator=(const Table& other) {
+  if (this != &other) CopyFrom(other);
+  return *this;
+}
+
+Table::Table(Table&& other) noexcept
+    : name_(std::move(other.name_)),
+      columns_(std::move(other.columns_)),
+      num_rows_(other.num_rows_),
+      delta_rows_(other.delta_rows_.load(std::memory_order_acquire)),
+      folds_(other.folds_.load(std::memory_order_acquire)) {}
+
+Table& Table::operator=(Table&& other) noexcept {
+  if (this != &other) {
+    name_ = std::move(other.name_);
+    columns_ = std::move(other.columns_);
+    num_rows_ = other.num_rows_;
+    delta_rows_.store(other.delta_rows_.load(std::memory_order_acquire),
+                      std::memory_order_release);
+    folds_.store(other.folds_.load(std::memory_order_acquire),
+                 std::memory_order_release);
+  }
+  return *this;
 }
 
 int Table::ColumnIndex(const std::string& name) const {
@@ -21,7 +65,7 @@ int Table::ColumnIndex(const std::string& name) const {
 }
 
 std::vector<int32_t> Table::RowCodes(size_t row) const {
-  UAE_DCHECK(row < num_rows_);
+  UAE_DCHECK(row < num_rows());
   std::vector<int32_t> out(columns_.size());
   for (size_t i = 0; i < columns_.size(); ++i) out[i] = columns_[i].code_at(row);
   return out;
@@ -38,10 +82,78 @@ int Table::LargestDomainColumn() const {
   return best;
 }
 
-void Table::AppendRowCodes(const std::vector<int32_t>& codes) {
-  UAE_CHECK_EQ(codes.size(), columns_.size());
+util::Status Table::AppendRowCodes(const std::vector<int32_t>& codes) {
+  if (codes.size() != columns_.size()) {
+    return util::Status::InvalidArgument(
+        "AppendRowCodes: got " + std::to_string(codes.size()) +
+        " codes for a " + std::to_string(columns_.size()) + "-column table");
+  }
+  if (delta_rows_.load(std::memory_order_acquire) != 0) {
+    return util::Status::FailedPrecondition(
+        "AppendRowCodes: table has an open delta region; base appends would "
+        "reorder rows (use AppendDeltaRowCodes)");
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (codes[i] < 0 || codes[i] >= columns_[i].total_domain()) {
+      return util::Status::InvalidArgument(
+          "AppendRowCodes: code " + std::to_string(codes[i]) +
+          " out of domain [0, " + std::to_string(columns_[i].total_domain()) +
+          ") for column " + columns_[i].name());
+    }
+  }
   for (size_t i = 0; i < columns_.size(); ++i) columns_[i].AppendCode(codes[i]);
   ++num_rows_;
+  return util::Status::Ok();
+}
+
+util::Status Table::AppendDeltaRowCodes(std::span<const int32_t> codes) {
+  if (codes.size() != columns_.size()) {
+    return util::Status::InvalidArgument(
+        "AppendDeltaRowCodes: got " + std::to_string(codes.size()) +
+        " codes for a " + std::to_string(columns_.size()) + "-column table");
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (codes[i] < 0 || codes[i] >= columns_[i].total_domain()) {
+      return util::Status::InvalidArgument(
+          "AppendDeltaRowCodes: code " + std::to_string(codes[i]) +
+          " out of domain [0, " + std::to_string(columns_[i].total_domain()) +
+          ") for column " + columns_[i].name());
+    }
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i].AppendDeltaCode(codes[i]);
+  }
+  // Publish the row only after every column holds its code: a reader that
+  // observes the incremented count sees a complete row.
+  delta_rows_.fetch_add(1, std::memory_order_release);
+  return util::Status::Ok();
+}
+
+int Table::EncodeAppendRow(std::span<const Value> values,
+                           std::vector<int32_t>* codes) {
+  UAE_CHECK_EQ(values.size(), columns_.size());
+  codes->resize(columns_.size());
+  int unseen = 0;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const int32_t before = columns_[i].total_domain();
+    (*codes)[i] = columns_[i].CodeForAppend(values[i]);
+    if (columns_[i].total_domain() != before) ++unseen;
+  }
+  return unseen;
+}
+
+size_t Table::FoldDelta() {
+  const size_t published = delta_rows_.load(std::memory_order_acquire);
+  if (published == 0) return 0;
+  for (auto& c : columns_) {
+    const size_t folded = c.FoldDelta();
+    UAE_CHECK_EQ(folded, published)
+        << "FoldDelta under a live writer (column " << c.name() << ")";
+  }
+  num_rows_ += published;
+  delta_rows_.store(0, std::memory_order_release);
+  folds_.fetch_add(1, std::memory_order_acq_rel);
+  return published;
 }
 
 Table Table::Gather(std::span<const size_t> rows,
@@ -53,16 +165,10 @@ Table Table::Gather(std::span<const size_t> rows,
 }
 
 Table Table::Slice(size_t begin, size_t end, const std::string& new_name) const {
-  UAE_CHECK(begin <= end && end <= num_rows_);
-  std::vector<Column> cols;
-  cols.reserve(columns_.size());
-  for (const auto& c : columns_) {
-    std::vector<int32_t> codes(c.codes().begin() + static_cast<ptrdiff_t>(begin),
-                               c.codes().begin() + static_cast<ptrdiff_t>(end));
-    // Preserve the parent dictionary by re-using domain-sized code dictionary.
-    cols.push_back(Column::FromCodes(c.name(), std::move(codes), c.domain()));
-  }
-  return Table(new_name, std::move(cols));
+  UAE_CHECK(begin <= end && end <= num_rows());
+  std::vector<size_t> rows(end - begin);
+  std::iota(rows.begin(), rows.end(), begin);
+  return Gather(rows, new_name);
 }
 
 }  // namespace uae::data

@@ -1,11 +1,22 @@
 // A relation: a set of equally-sized dictionary-encoded columns.
+//
+// Streaming ingest extends the static relation with a delta region (see
+// data/column.h): one external writer appends rows via AppendDeltaRowCodes /
+// EncodeAppendRow, readers scan rows below a num_rows() they observed, and
+// FoldDelta() (the compactor, under exclusive access) merges the delta into
+// the base region without changing any row index or code. num_rows() is the
+// authoritative live row count: a delta row is published here only after
+// every column holds its code.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "data/column.h"
+#include "util/status.h"
 
 namespace uae::data {
 
@@ -13,9 +24,20 @@ class Table {
  public:
   Table() = default;
   Table(std::string name, std::vector<Column> columns);
+  Table(const Table& other);
+  Table& operator=(const Table& other);
+  Table(Table&& other) noexcept;
+  Table& operator=(Table&& other) noexcept;
 
   const std::string& name() const { return name_; }
-  size_t num_rows() const { return num_rows_; }
+  /// Live row count: base rows + fully published delta rows.
+  size_t num_rows() const {
+    return num_rows_ + delta_rows_.load(std::memory_order_acquire);
+  }
+  size_t base_rows() const { return num_rows_; }
+  size_t delta_rows() const {
+    return delta_rows_.load(std::memory_order_acquire);
+  }
   int num_cols() const { return static_cast<int>(columns_.size()); }
   const Column& column(int i) const { return columns_[static_cast<size_t>(i)]; }
   Column& mutable_column(int i) { return columns_[static_cast<size_t>(i)]; }
@@ -30,22 +52,61 @@ class Table {
   /// The column with the largest domain (the paper's "bounded attribute").
   int LargestDomainColumn() const;
 
-  /// Appends a row given per-column codes (for incremental-data experiments).
-  void AppendRowCodes(const std::vector<int32_t>& codes);
+  /// Appends a row to the BASE region given per-column codes (bulk loading /
+  /// incremental-data experiments). Validates arity and per-column code
+  /// bounds — an out-of-domain code or a wrong-arity vector is rejected with
+  /// InvalidArgument instead of silently corrupting the column stores — and
+  /// refuses (FailedPrecondition) while a delta region is open, which would
+  /// reorder rows. Use AppendDeltaRowCodes on a live table.
+  util::Status AppendRowCodes(const std::vector<int32_t>& codes);
 
-  /// A new table containing rows [begin, end).
+  /// Appends a row to the DELTA region: validated like AppendRowCodes
+  /// (against total_domain(), so overflow codes are admissible), then
+  /// published atomically — concurrent readers either see the whole row or
+  /// none of it. Single-writer (the ingest apply thread).
+  util::Status AppendDeltaRowCodes(std::span<const int32_t> codes);
+
+  /// Encodes a row of values into codes via each column's CodeForAppend —
+  /// unseen values are assigned stable overflow codes. Returns the number of
+  /// columns whose value was unseen. Single-writer.
+  int EncodeAppendRow(std::span<const Value> values,
+                      std::vector<int32_t>* codes);
+
+  /// Compaction: folds every published delta row into the base region.
+  /// Row indices, codes, and dictionaries are all unchanged — only the
+  /// storage moves — so a snapshot taken before the fold reads identically
+  /// after it. Requires exclusive access (no concurrent readers or writer);
+  /// the ingest layer serializes this behind its table lock. Returns the
+  /// number of rows folded and bumps fold_generation().
+  size_t FoldDelta();
+  /// Number of completed FoldDelta() calls (generation-atomic compaction
+  /// marker: a reader pinning (num_rows, fold_generation) can detect an
+  /// intervening compaction).
+  uint64_t fold_generation() const {
+    return folds_.load(std::memory_order_acquire);
+  }
+
+  /// A new table containing rows [begin, end). Dictionaries (frozen and
+  /// overflow) are shared with this table, so compiled constraints carry
+  /// over — this previously rebuilt an integer dictionary 0..domain-1,
+  /// which silently changed what codes meant for non-integer columns.
   Table Slice(size_t begin, size_t end, const std::string& new_name) const;
 
   /// A new table containing the selected rows (in the given order), with
   /// every column sharing this table's full dictionary (Column::Gather) —
   /// the horizontal-partitioning primitive: shard tables stay addressable in
-  /// the global code space.
+  /// the global code space. Rows may index the delta region; the gathered
+  /// table is a fully materialized snapshot (no delta region of its own).
   Table Gather(std::span<const size_t> rows, const std::string& new_name) const;
 
  private:
+  void CopyFrom(const Table& other);
+
   std::string name_;
   std::vector<Column> columns_;
-  size_t num_rows_ = 0;
+  size_t num_rows_ = 0;  ///< Base-region rows.
+  std::atomic<size_t> delta_rows_{0};
+  std::atomic<uint64_t> folds_{0};
 };
 
 }  // namespace uae::data

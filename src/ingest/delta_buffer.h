@@ -1,0 +1,94 @@
+// DeltaBuffer — the per-shard ledger of streamed-in rows.
+//
+// The ingest apply thread routes every appended row to the shard that owns
+// its partition-column value (HorizontalPartitioner::ShardForIngestCode) and
+// records it here as a packed (global row index, overflow flag) entry. Row
+// indices are GLOBAL indices into the live table and stay valid forever:
+// rows only ever append, and Table::FoldDelta preserves order — so the
+// refresh layer can Gather a shard's pending rows long after the delta they
+// arrived in was compacted away.
+//
+// The overflow flag marks rows carrying at least one code above its column's
+// frozen domain. Such rows can never enter a model (trained masks cover the
+// frozen code space only); the refresh layer accounts for them exactly via
+// ingest::DeltaAwareModel's tail instead.
+//
+// Concurrency: the ingest apply thread is the only Append caller; the
+// refresh thread is the only MarkRefreshed caller; any thread may read the
+// counters and published entries. All cross-thread state is atomics or
+// AppendOnlyStore publications — no locks.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "data/append_store.h"
+#include "util/common.h"
+
+namespace uae::ingest {
+
+class DeltaBuffer {
+ public:
+  DeltaBuffer() = default;
+  UAE_DISALLOW_COPY(DeltaBuffer);
+
+  /// Records an appended row (single writer: the ingest apply thread).
+  void Append(size_t row, bool overflow) {
+    entries_.Append((static_cast<uint64_t>(row) << 1) |
+                    (overflow ? 1u : 0u));
+    if (overflow) overflow_rows_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Entries recorded so far (rows routed to this shard).
+  size_t size() const { return entries_.size(); }
+  /// Entries this shard's model has absorbed (refresh cut; monotone).
+  size_t watermark() const { return watermark_.load(std::memory_order_acquire); }
+  /// Rows routed here since the last refresh — the primary staleness signal.
+  size_t rows_since_refresh() const { return size() - watermark(); }
+
+  /// Total overflow-carrying rows ever routed here.
+  size_t overflow_rows() const {
+    return overflow_rows_.load(std::memory_order_acquire);
+  }
+  /// Overflow-carrying rows below the refresh cut (already in a published
+  /// tail).
+  size_t overflow_refreshed() const {
+    return overflow_refreshed_.load(std::memory_order_acquire);
+  }
+  /// New unseen-value rows since the last refresh — the tail-staleness signal.
+  size_t overflow_since_refresh() const {
+    return overflow_rows() - overflow_refreshed();
+  }
+
+  /// Global table row index of entry i (requires i < a size() you observed).
+  size_t row_at(size_t i) const {
+    return static_cast<size_t>(entries_.at(i) >> 1);
+  }
+  /// Whether entry i carries an overflow code.
+  bool overflow_at(size_t i) const { return (entries_.at(i) & 1u) != 0; }
+
+  /// Advances the refresh cut to `new_watermark` (refresh thread only),
+  /// counting the overflow entries it just consumed.
+  void MarkRefreshed(size_t new_watermark) {
+    const size_t old = watermark();
+    UAE_DCHECK(new_watermark >= old && new_watermark <= size());
+    size_t overflow_consumed = 0;
+    for (size_t i = old; i < new_watermark; ++i) {
+      if (overflow_at(i)) ++overflow_consumed;
+    }
+    if (overflow_consumed > 0) {
+      overflow_refreshed_.fetch_add(overflow_consumed,
+                                    std::memory_order_release);
+    }
+    watermark_.store(new_watermark, std::memory_order_release);
+  }
+
+ private:
+  data::AppendOnlyStore<uint64_t, 4096, 4096> entries_;
+  std::atomic<size_t> overflow_rows_{0};
+  std::atomic<size_t> overflow_refreshed_{0};
+  std::atomic<size_t> watermark_{0};
+};
+
+}  // namespace uae::ingest

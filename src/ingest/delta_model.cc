@@ -1,0 +1,104 @@
+#include "ingest/delta_model.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+
+namespace uae::ingest {
+
+DeltaAwareModel::DeltaAwareModel(
+    std::shared_ptr<const core::ServableModel> inner, const data::Table* table,
+    std::vector<std::vector<int32_t>> tail_rows)
+    : inner_(std::move(inner)),
+      table_(table),
+      tail_(std::make_shared<const std::vector<std::vector<int32_t>>>(
+          std::move(tail_rows))) {
+  UAE_CHECK(inner_ != nullptr && table_ != nullptr);
+  for (const auto& row : *tail_) {
+    UAE_CHECK_EQ(row.size(), static_cast<size_t>(table_->num_cols()));
+  }
+}
+
+namespace {
+
+bool TailCodeMatches(const workload::Constraint& con, int32_t code,
+                     const data::Column& column) {
+  const int32_t domain = column.domain();
+  if (code < domain) return con.Matches(code);
+  // Overflow code: stable but unordered. Equality-shaped constraints resolve
+  // exactly by code; true ranges compare values at the frozen endpoints.
+  switch (con.kind) {
+    case workload::Constraint::Kind::kNone:
+      return true;
+    case workload::Constraint::Kind::kNotEqual:
+      return code != con.neq;
+    case workload::Constraint::Kind::kIn:
+      return std::binary_search(con.in_codes.begin(), con.in_codes.end(), code);
+    case workload::Constraint::Kind::kRange: {
+      if (con.lo == con.hi) return code == con.lo;  // Compiled equality.
+      const int32_t lo = std::max(con.lo, 0);
+      const int32_t hi = std::min(con.hi, domain - 1);
+      if (lo > hi || domain == 0) return false;
+      const data::Value& v = column.ValueForCode(code);
+      return !(v < column.ValueForCode(lo)) && !(column.ValueForCode(hi) < v);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+size_t DeltaAwareModel::CountTail(const workload::Query& query) const {
+  if (tail_->empty()) return 0;
+  const int ncols = std::min(query.num_cols(), table_->num_cols());
+  size_t count = 0;
+  for (const auto& row : *tail_) {
+    bool match = true;
+    for (int c = 0; c < ncols && match; ++c) {
+      const workload::Constraint& con = query.constraint(c);
+      if (!con.IsActive()) continue;
+      match = TailCodeMatches(con, row[static_cast<size_t>(c)],
+                              table_->column(c));
+    }
+    if (match) ++count;
+  }
+  return count;
+}
+
+double DeltaAwareModel::EstimateCard(const workload::Query& query) const {
+  return inner_->EstimateCard(query) +
+         static_cast<double>(CountTail(query));
+}
+
+std::vector<double> DeltaAwareModel::EstimateCards(
+    std::span<const workload::Query> queries) const {
+  std::vector<double> out = inner_->EstimateCards(queries);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    out[i] += static_cast<double>(CountTail(queries[i]));
+  }
+  return out;
+}
+
+size_t DeltaAwareModel::SizeBytes() const {
+  size_t tail_bytes = 0;
+  for (const auto& row : *tail_) tail_bytes += row.size() * sizeof(int32_t);
+  return inner_->SizeBytes() + tail_bytes;
+}
+
+std::shared_ptr<core::ServableModel> DeltaAwareModel::CloneServable() const {
+  auto clone = std::shared_ptr<DeltaAwareModel>(new DeltaAwareModel(*this));
+  clone->inner_ = inner_->CloneServable();
+  return clone;
+}
+
+size_t DeltaAwareModel::FineTune(const workload::Workload& workload,
+                                 const core::FineTuneSpec& spec) {
+  // The decorator's inner pointer is const-shared (publish path); fine-tuning
+  // goes through CloneServable first, which deep-copies the inner model.
+  std::shared_ptr<core::ServableModel> mutable_inner = inner_->CloneServable();
+  const size_t used = mutable_inner->FineTune(workload, spec);
+  if (used > 0) inner_ = mutable_inner;
+  return used;
+}
+
+}  // namespace uae::ingest

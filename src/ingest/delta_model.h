@@ -1,0 +1,87 @@
+// DeltaAwareModel — a ServableModel decorator that makes streamed-in rows
+// carrying OVERFLOW codes (values unseen when the dictionaries froze)
+// queryable without any dictionary remapping.
+//
+// Trained models can never absorb overflow codes: their input masks and
+// embeddings cover the frozen code space only (core::Uae::IngestDataRows
+// CHECK-rejects codes past the frozen domain). Instead of remapping — which
+// would invalidate every compiled query and cached result — the refresh
+// layer publishes `model + tail`: the wrapped model answers for all rows
+// inside the frozen value space, and the tail is the exact, frozen set of
+// overflow-carrying rows counted by direct evaluation. Tails stay small by
+// construction (unseen values are the exception, not the rule), and the
+// count is exact, so a query naming a brand-new value gets its true
+// cardinality the moment a refresh publishes.
+//
+// Matching a tail row is exact for equality / IN / != / point ranges, since
+// overflow codes are stable: the query compiler resolves a literal to the
+// same code the ingest path assigned. True ranges (lo < hi) over an overflow
+// code fall back to comparing the row's VALUE against the dictionary values
+// at the range's frozen endpoints — overflow codes carry no order. This is
+// conservative at the open fringes of the interval (a value strictly outside
+// the frozen endpoints but inside the original predicate bounds is missed);
+// exactness there would need the uncompiled value bounds, which the Query
+// does not carry.
+//
+// Determinism: the tail is frozen at construction, the inner model is
+// immutable once published — estimates stay pure functions of (model, query)
+// per generation, as the serving layer requires.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/servable.h"
+#include "data/table.h"
+
+namespace uae::ingest {
+
+class DeltaAwareModel : public core::ServableModel {
+ public:
+  /// `tail_rows` holds the overflow-carrying rows, row-major, one code per
+  /// table column each. `table` is the live table: only its dictionaries are
+  /// read (frozen dict + already-assigned overflow values, both immutable),
+  /// never its rows, so concurrent ingest is safe. Both `inner` and `table`
+  /// must outlive the model.
+  DeltaAwareModel(std::shared_ptr<const core::ServableModel> inner,
+                  const data::Table* table,
+                  std::vector<std::vector<int32_t>> tail_rows);
+
+  double EstimateCard(const workload::Query& query) const override;
+  std::vector<double> EstimateCards(
+      std::span<const workload::Query> queries) const override;
+  bool SupportsJoinQueries() const override {
+    return inner_->SupportsJoinQueries();
+  }
+  /// Joins pass through untouched: tails are single-table row sets and a
+  /// JoinUniverse model owns its own (frozen) fact rows.
+  double EstimateJoinCard(const workload::JoinQuery& query) const override {
+    return inner_->EstimateJoinCard(query);
+  }
+  std::vector<double> EstimateJoinCards(
+      std::span<const workload::JoinQuery> queries) const override {
+    return inner_->EstimateJoinCards(queries);
+  }
+
+  size_t SizeBytes() const override;
+  size_t num_rows() const override { return inner_->num_rows() + tail_->size(); }
+  uint64_t seed() const override { return inner_->seed(); }
+  std::shared_ptr<core::ServableModel> CloneServable() const override;
+  size_t FineTune(const workload::Workload& workload,
+                  const core::FineTuneSpec& spec) override;
+
+  const core::ServableModel& inner() const { return *inner_; }
+  size_t tail_rows() const { return tail_->size(); }
+
+  /// Exact number of tail rows matching `query` (exposed for tests).
+  size_t CountTail(const workload::Query& query) const;
+
+ private:
+  std::shared_ptr<const core::ServableModel> inner_;
+  const data::Table* table_;
+  /// Overflow-carrying rows, frozen at construction; shared with clones.
+  std::shared_ptr<const std::vector<std::vector<int32_t>>> tail_;
+};
+
+}  // namespace uae::ingest

@@ -1,0 +1,200 @@
+#include "ingest/service.h"
+
+#include <algorithm>
+
+namespace uae::ingest {
+
+IngestService::IngestService(data::Table* table,
+                             const shard::HorizontalPartitioner* partitioner,
+                             const IngestConfig& config)
+    : table_(table), partitioner_(partitioner), config_(config) {
+  UAE_CHECK(table_ != nullptr && partitioner_ != nullptr);
+  UAE_CHECK_GE(config_.queue_capacity, size_t{1});
+  UAE_CHECK_GE(config_.max_batch, size_t{1});
+  buffers_.reserve(static_cast<size_t>(partitioner_->num_shards()));
+  for (int s = 0; s < partitioner_->num_shards(); ++s) {
+    buffers_.push_back(std::make_unique<DeltaBuffer>());
+  }
+  apply_thread_ = std::thread([this] { ApplyLoop(); });
+}
+
+IngestService::~IngestService() {
+  Close();
+  if (apply_thread_.joinable()) apply_thread_.join();
+}
+
+bool IngestService::Append(std::vector<data::Value> values) {
+  PendingRow row;
+  row.values = std::move(values);
+  row.encoded = false;
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  queue_cv_.wait(lock,
+                 [this] { return closed_ || queue_.size() < config_.queue_capacity; });
+  if (closed_) return false;
+  row.seq = next_seq_++;
+  if (queue_.empty()) oldest_enqueue_ = std::chrono::steady_clock::now();
+  queue_.push_back(std::move(row));
+  apply_cv_.notify_one();
+  return true;
+}
+
+bool IngestService::AppendCodes(std::vector<int32_t> codes) {
+  PendingRow row;
+  row.codes = std::move(codes);
+  row.encoded = true;
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  queue_cv_.wait(lock,
+                 [this] { return closed_ || queue_.size() < config_.queue_capacity; });
+  if (closed_) return false;
+  row.seq = next_seq_++;
+  if (queue_.empty()) oldest_enqueue_ = std::chrono::steady_clock::now();
+  queue_.push_back(std::move(row));
+  apply_cv_.notify_one();
+  return true;
+}
+
+void IngestService::Flush() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  const uint64_t target = next_seq_ - 1;
+  flushed_cv_.wait(lock, [this, target] { return applied_seq_ >= target; });
+}
+
+void IngestService::Close() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  queue_cv_.notify_all();
+  apply_cv_.notify_all();
+}
+
+size_t IngestService::CompactNow() {
+  // writer_mu_ first: a fold must never overlap the apply thread's appends
+  // (the delta region is single-writer; FoldDelta consumes the published
+  // prefix and resets the count).
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  return CompactLocked();
+}
+
+size_t IngestService::CompactLocked() {
+  size_t folded = 0;
+  {
+    std::unique_lock<std::shared_mutex> exclusive(table_mu_);
+    folded = table_->FoldDelta();
+  }
+  if (folded > 0) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.compactions;
+    stats_.folded_rows += folded;
+  }
+  return folded;
+}
+
+IngestStats IngestService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+size_t IngestService::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return queue_.size();
+}
+
+void IngestService::ApplyLoop() {
+  std::vector<PendingRow> batch;
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      apply_cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (closed_) return;
+        continue;
+      }
+      // Batch admission, MicroBatcher-style: wait (bounded by max_wait from
+      // the oldest queued row) for a full batch, then take up to max_batch.
+      const auto deadline = oldest_enqueue_ + config_.max_wait;
+      apply_cv_.wait_until(lock, deadline, [this] {
+        return closed_ || queue_.size() >= config_.max_batch;
+      });
+      const size_t take = std::min(queue_.size(), config_.max_batch);
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      if (!queue_.empty()) oldest_enqueue_ = std::chrono::steady_clock::now();
+    }
+    queue_cv_.notify_all();
+    {
+      std::lock_guard<std::mutex> writer(writer_mu_);
+      ApplyBatch(batch);
+      MaybeCompact();
+    }
+    uint64_t applied = batch.back().seq;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      applied_seq_ = std::max(applied_seq_, applied);
+    }
+    flushed_cv_.notify_all();
+  }
+}
+
+void IngestService::ApplyBatch(std::vector<PendingRow>& batch) {
+  const int pcol = partitioner_->partition_col();
+  const data::Column& pcolumn = table_->column(pcol);
+  uint64_t appended = 0, rejected = 0, unseen = 0, overflow_rows = 0;
+  std::vector<int32_t> codes;
+  for (PendingRow& row : batch) {
+    const int32_t* row_codes = nullptr;
+    size_t arity = 0;
+    if (row.encoded) {
+      row_codes = row.codes.data();
+      arity = row.codes.size();
+    } else {
+      if (row.values.size() != static_cast<size_t>(table_->num_cols())) {
+        ++rejected;
+        continue;
+      }
+      unseen += static_cast<uint64_t>(table_->EncodeAppendRow(row.values, &codes));
+      row_codes = codes.data();
+      arity = codes.size();
+    }
+    // The global index of the row about to be appended (single writer: no
+    // other append can interleave).
+    const size_t global_row = table_->num_rows();
+    util::Status status =
+        table_->AppendDeltaRowCodes(std::span<const int32_t>(row_codes, arity));
+    if (!status.ok()) {
+      ++rejected;
+      continue;
+    }
+    bool has_overflow = false;
+    for (size_t c = 0; c < arity; ++c) {
+      if (row_codes[c] >= table_->column(static_cast<int>(c)).domain()) {
+        has_overflow = true;
+        break;
+      }
+    }
+    const int shard =
+        partitioner_->ShardForIngestCode(row_codes[static_cast<size_t>(pcol)],
+                                         pcolumn);
+    buffers_[static_cast<size_t>(shard)]->Append(global_row, has_overflow);
+    ++appended;
+    if (has_overflow) ++overflow_rows;
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.rows_appended += appended;
+  stats_.rows_rejected += rejected;
+  stats_.unseen_values += unseen;
+  stats_.overflow_rows += overflow_rows;
+  ++stats_.batches;
+}
+
+void IngestService::MaybeCompact() {
+  if (config_.compact_min_delta == 0) return;
+  if (table_->delta_rows() >= config_.compact_min_delta) CompactLocked();
+}
+
+}  // namespace uae::ingest

@@ -1,0 +1,38 @@
+#include "ingest/staleness.h"
+
+namespace uae::ingest {
+
+std::vector<ShardStaleness> StalenessMonitor::Snapshot() const {
+  const int n = service_->num_shards();
+  std::vector<ShardStaleness> out(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    ShardStaleness& st = out[static_cast<size_t>(s)];
+    const DeltaBuffer& buf = service_->shard_buffer(s);
+    st.shard = s;
+    st.base_rows = service_->shard_base_rows(s);
+    st.rows_since_refresh = buf.rows_since_refresh();
+    st.unseen_since_refresh = buf.overflow_since_refresh();
+    st.delta_ratio = st.base_rows == 0
+                         ? (st.rows_since_refresh > 0 ? 1.0 : 0.0)
+                         : static_cast<double>(st.rows_since_refresh) /
+                               static_cast<double>(st.base_rows);
+    const bool by_rows = config_.trigger_rows > 0 &&
+                         st.rows_since_refresh >= config_.trigger_rows;
+    const bool by_ratio = config_.trigger_delta_ratio > 0 &&
+                          st.delta_ratio >= config_.trigger_delta_ratio;
+    const bool by_unseen = config_.trigger_unseen_rows > 0 &&
+                           st.unseen_since_refresh >= config_.trigger_unseen_rows;
+    st.stale = by_rows || by_ratio || by_unseen;
+  }
+  return out;
+}
+
+std::vector<int> StalenessMonitor::StaleShards() const {
+  std::vector<int> out;
+  for (const ShardStaleness& st : Snapshot()) {
+    if (st.stale) out.push_back(st.shard);
+  }
+  return out;
+}
+
+}  // namespace uae::ingest

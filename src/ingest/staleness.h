@@ -1,0 +1,55 @@
+// StalenessMonitor — decides WHICH shards have drifted far enough from their
+// trained snapshot to be worth refreshing. Mirrors online::DriftMonitor's
+// role in the feedback loop, but reads ingest-side signals (what arrived)
+// instead of serve-side ones (what mis-estimated): per-shard rows since the
+// last refresh, delta/base ratio, and new unseen-value rows. The refresh
+// layer retrains ONLY the shards flagged here — everything else keeps
+// bit-identical parameters across the refresh cycle.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ingest/service.h"
+
+namespace uae::ingest {
+
+/// A shard is stale when ANY enabled trigger fires (0 disables a trigger).
+struct StalenessConfig {
+  /// Fire when rows routed to the shard since its last refresh reach this.
+  size_t trigger_rows = 256;
+  /// Fire when (pending rows / shard base rows) reaches this.
+  double trigger_delta_ratio = 0.10;
+  /// Fire when unseen-value rows arrived since the last refresh reach this
+  /// (a new tail must be published for them to become queryable).
+  size_t trigger_unseen_rows = 64;
+};
+
+struct ShardStaleness {
+  int shard = 0;
+  size_t base_rows = 0;            ///< Shard rows at partition time.
+  size_t rows_since_refresh = 0;
+  size_t unseen_since_refresh = 0;
+  double delta_ratio = 0.0;
+  bool stale = false;
+};
+
+class StalenessMonitor {
+ public:
+  /// `service` must outlive the monitor.
+  StalenessMonitor(const IngestService* service, const StalenessConfig& config)
+      : service_(service), config_(config) {}
+
+  /// Per-shard staleness, computed from the buffers' live counters.
+  std::vector<ShardStaleness> Snapshot() const;
+  /// Shards whose triggers fired, ascending.
+  std::vector<int> StaleShards() const;
+
+  const StalenessConfig& config() const { return config_; }
+
+ private:
+  const IngestService* service_;
+  StalenessConfig config_;
+};
+
+}  // namespace uae::ingest

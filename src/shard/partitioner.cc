@@ -114,6 +114,19 @@ void HorizontalPartitioner::BuildHashScheme(const data::Column& col) {
   }
 }
 
+int HorizontalPartitioner::ShardForIngestCode(int32_t code,
+                                              const data::Column& column) const {
+  if (code >= 0 && code < domain_) return ShardForCode(code);
+  if (config_.scheme == PartitionScheme::kHash) {
+    return static_cast<int>(
+        util::SplitMix64(config_.seed ^ static_cast<uint64_t>(code)) %
+        static_cast<uint64_t>(num_shards()));
+  }
+  const int32_t anchor =
+      std::min(column.LowerBoundCode(column.ValueForCode(code)), domain_ - 1);
+  return ShardForCode(anchor);
+}
+
 std::vector<data::Table> HorizontalPartitioner::Materialize(
     const data::Table& table, const std::string& name_prefix) const {
   UAE_CHECK_EQ(table.num_rows(), [this] {

@@ -73,6 +73,14 @@ class HorizontalPartitioner {
     return code_to_shard_[static_cast<size_t>(code)];
   }
 
+  /// Shard for an ingested row's partition-column code, which may be an
+  /// overflow code above the frozen domain (the shard map only covers frozen
+  /// codes). kRange places the row where its *value* would sort — the shard
+  /// owning LowerBoundCode(value), clamped — so range locality survives
+  /// streaming; kHash hashes the stable overflow code directly. `column` must
+  /// be the live partition column (for the value lookup).
+  int ShardForIngestCode(int32_t code, const data::Column& column) const;
+
   /// Row indices assigned to shard `s`, ascending (original row order).
   const std::vector<size_t>& RowsForShard(int s) const {
     return shard_rows_[static_cast<size_t>(s)];

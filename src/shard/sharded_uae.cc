@@ -153,6 +153,11 @@ void ShardedUae::FineTuneShard(int s, const workload::Workload& workload,
   models_[static_cast<size_t>(s)]->FineTune(workload, spec);
 }
 
+void ShardedUae::IngestShardRows(int s, const data::Table& delta, int epochs) {
+  models_[static_cast<size_t>(s)]->IngestDataRows(delta, epochs);
+  num_rows_ += delta.num_rows();
+}
+
 size_t ShardedUae::RouteWorkload(const workload::Workload& workload,
                                  std::vector<workload::Workload>* per_shard) const {
   per_shard->assign(models_.size(), {});

@@ -64,6 +64,14 @@ class ShardedUae : public core::ServableModel {
   /// shard; selectivities re-derive from the shard's row count).
   void FineTuneShard(int s, const workload::Workload& workload,
                      const core::FineTuneSpec& spec);
+  /// Incremental data refresh for ONE shard (§4.5 applied per partition):
+  /// appends `delta`'s rows to the shard model's training-code store and runs
+  /// unsupervised epochs on the new rows only (core::Uae::IngestDataRows).
+  /// Every code in `delta` must lie inside the frozen dictionaries — overflow
+  /// codes never enter a model (the ingest layer accounts for them with an
+  /// exact tail, see ingest/delta_model.h). Other shards are untouched
+  /// (bit-identical parameters).
+  void IngestShardRows(int s, const data::Table& delta, int epochs);
   /// Splits a feedback workload by shard: queries pruning to exactly one
   /// shard land in that shard's slice; spanning queries are dropped. Returns
   /// the number of dropped (unattributable) queries.

@@ -29,7 +29,7 @@ TEST(TableTest, Basics) {
 
 TEST(TableTest, AppendRow) {
   Table t = MakeTable();
-  t.AppendRowCodes({0, 2});
+  ASSERT_TRUE(t.AppendRowCodes({0, 2}).ok());
   EXPECT_EQ(t.num_rows(), 5u);
   EXPECT_EQ(t.column(0).code_at(4), 0);
 }

@@ -1,0 +1,190 @@
+// data/ delta region + overflow dictionary: the dictionary-stable append
+// contract the streaming-ingest subsystem is built on —
+//  * appended rows become visible atomically below a published num_rows();
+//  * unseen values get stable codes above the frozen domain, resolvable both
+//    ways (CodeForValue / ValueForCode) without any remapping of frozen codes;
+//  * Gather/Slice materialize delta rows and keep the full dictionary, so a
+//    snapshot taken at any published count reads identically after appends
+//    and after FoldDelta;
+//  * AppendRowCodes validates arity and code bounds (regression: it used to
+//    silently accept both).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/table.h"
+
+namespace uae::data {
+namespace {
+
+Table MakeTable() {
+  std::vector<Column> cols;
+  cols.push_back(Column::FromInts("a", {10, 20, 30, 10}));
+  cols.push_back(Column::FromInts("b", {1, 2, 3, 4}));
+  return Table("t", std::move(cols));
+}
+
+TEST(DeltaColumnTest, AppendDeltaCodesAreLiveAndFoldKeepsIndices) {
+  Table t = MakeTable();
+  ASSERT_EQ(t.num_rows(), 4u);
+  ASSERT_TRUE(t.AppendDeltaRowCodes(std::vector<int32_t>{2, 0}).ok());
+  ASSERT_TRUE(t.AppendDeltaRowCodes(std::vector<int32_t>{0, 3}).ok());
+  EXPECT_EQ(t.num_rows(), 6u);
+  EXPECT_EQ(t.base_rows(), 4u);
+  EXPECT_EQ(t.delta_rows(), 2u);
+  EXPECT_EQ(t.column(0).code_at(4), 2);
+  EXPECT_EQ(t.column(0).code_at(5), 0);
+  EXPECT_EQ(t.RowCodes(5), (std::vector<int32_t>{0, 3}));
+
+  const uint64_t gen = t.fold_generation();
+  EXPECT_EQ(t.FoldDelta(), 2u);
+  EXPECT_EQ(t.fold_generation(), gen + 1);
+  EXPECT_EQ(t.base_rows(), 6u);
+  EXPECT_EQ(t.delta_rows(), 0u);
+  // Folding moves storage only: every row index decodes identically.
+  EXPECT_EQ(t.column(0).code_at(4), 2);
+  EXPECT_EQ(t.RowCodes(5), (std::vector<int32_t>{0, 3}));
+  // Idempotent when empty.
+  EXPECT_EQ(t.FoldDelta(), 0u);
+  EXPECT_EQ(t.fold_generation(), gen + 1);
+}
+
+TEST(DeltaColumnTest, UnseenValuesGetStableOverflowCodes) {
+  Table t = MakeTable();
+  const int32_t frozen = t.column(0).domain();
+  ASSERT_EQ(frozen, 3);  // {10, 20, 30}.
+
+  std::vector<int32_t> codes;
+  std::vector<Value> row1 = {Value(int64_t{25}), Value(int64_t{1})};
+  EXPECT_EQ(t.EncodeAppendRow(row1, &codes), 1);  // 25 is unseen.
+  EXPECT_EQ(codes[0], frozen);                    // First overflow code.
+  ASSERT_TRUE(t.AppendDeltaRowCodes(codes).ok());
+
+  // The same unseen value encodes to the SAME overflow code again...
+  std::vector<Value> row2 = {Value(int64_t{25}), Value(int64_t{2})};
+  EXPECT_EQ(t.EncodeAppendRow(row2, &codes), 0);
+  EXPECT_EQ(codes[0], frozen);
+  // ...and a different unseen value gets the next one.
+  std::vector<Value> row3 = {Value(int64_t{7}), Value(int64_t{3})};
+  EXPECT_EQ(t.EncodeAppendRow(row3, &codes), 1);
+  EXPECT_EQ(codes[0], frozen + 1);
+
+  const Column& c = t.column(0);
+  EXPECT_EQ(c.total_domain(), frozen + 2);
+  EXPECT_EQ(c.overflow_size(), 2);
+  // Both directions resolve without touching frozen codes.
+  EXPECT_EQ(c.ValueForCode(frozen).AsInt(), 25);
+  EXPECT_EQ(c.ValueForCode(frozen + 1).AsInt(), 7);
+  ASSERT_TRUE(c.CodeForValue(Value(int64_t{25})).has_value());
+  EXPECT_EQ(*c.CodeForValue(Value(int64_t{25})), frozen);
+  // Frozen dictionary untouched: same codes as before any append.
+  EXPECT_EQ(*c.CodeForValue(Value(int64_t{10})), 0);
+  EXPECT_EQ(*c.CodeForValue(Value(int64_t{30})), 2);
+}
+
+TEST(DeltaColumnTest, FrequenciesCoverDeltaAndOverflow) {
+  Table t = MakeTable();
+  // Prime the cache at the frozen size, then append.
+  EXPECT_EQ(t.column(0).Frequencies().size(), 3u);
+  std::vector<int32_t> codes;
+  std::vector<Value> row = {Value(int64_t{25}), Value(int64_t{1})};
+  t.EncodeAppendRow(row, &codes);
+  ASSERT_TRUE(t.AppendDeltaRowCodes(codes).ok());
+  ASSERT_TRUE(t.AppendDeltaRowCodes(std::vector<int32_t>{0, 0}).ok());
+  const std::vector<int64_t>& freq = t.column(0).Frequencies();
+  ASSERT_EQ(freq.size(), 4u);  // 3 frozen + 1 overflow.
+  EXPECT_EQ(freq[0], 3);       // Two base rows of 10 + one delta.
+  EXPECT_EQ(freq[3], 1);       // The overflow value 25.
+}
+
+TEST(DeltaColumnTest, GatherMaterializesDeltaRowsWithFullDictionary) {
+  Table t = MakeTable();
+  std::vector<int32_t> codes;
+  std::vector<Value> row = {Value(int64_t{25}), Value(int64_t{2})};
+  t.EncodeAppendRow(row, &codes);
+  ASSERT_TRUE(t.AppendDeltaRowCodes(codes).ok());
+
+  std::vector<size_t> rows = {1, 4};  // One base row, one delta row.
+  Table g = t.Gather(rows, "g");
+  ASSERT_EQ(g.num_rows(), 2u);
+  EXPECT_EQ(g.delta_rows(), 0u);  // Fully materialized snapshot.
+  EXPECT_EQ(g.column(0).code_at(0), t.column(0).code_at(1));
+  EXPECT_EQ(g.column(0).code_at(1), t.column(0).domain());  // Overflow code.
+  // The gathered column still decodes the overflow code.
+  EXPECT_EQ(g.column(0).ValueForCode(g.column(0).code_at(1)).AsInt(), 25);
+  EXPECT_EQ(g.column(0).total_domain(), t.column(0).total_domain());
+}
+
+TEST(DeltaColumnTest, SliceKeepsRealDictionaryValues) {
+  // Regression: Slice used to rebuild an implicit 0..domain-1 integer
+  // dictionary, silently losing the actual values of non-contiguous dicts.
+  Table t = MakeTable();
+  Table s = t.Slice(1, 3, "s");
+  ASSERT_EQ(s.num_rows(), 2u);
+  EXPECT_EQ(s.column(0).domain(), t.column(0).domain());
+  EXPECT_EQ(s.column(0).ValueForCode(s.column(0).code_at(0)).AsInt(), 20);
+  EXPECT_EQ(s.column(0).ValueForCode(s.column(0).code_at(1)).AsInt(), 30);
+}
+
+TEST(TableAppendValidation, WrongArityRejected) {
+  // Regression: pre-fix AppendRowCodes CHECK-crashed on arity in debug but
+  // silently built a ragged table in release; now it reports InvalidArgument.
+  Table t = MakeTable();
+  util::Status s = t.AppendRowCodes({0});
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(t.num_rows(), 4u);  // Nothing was appended.
+}
+
+TEST(TableAppendValidation, OutOfDomainCodeRejected) {
+  // Regression: pre-fix AppendRowCodes pushed any code into the column store
+  // (bounds were DCHECK-only), corrupting Frequencies() and every
+  // domain-sized mask downstream.
+  Table t = MakeTable();
+  util::Status s = t.AppendRowCodes({99, 0});
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(t.num_rows(), 4u);
+  util::Status neg = t.AppendRowCodes({-1, 0});
+  EXPECT_FALSE(neg.ok());
+  // A valid row still goes through, including into overflow space.
+  EXPECT_TRUE(t.AppendRowCodes({2, 3}).ok());
+  EXPECT_EQ(t.num_rows(), 5u);
+}
+
+TEST(TableAppendValidation, BaseAppendRefusedWhileDeltaOpen) {
+  Table t = MakeTable();
+  ASSERT_TRUE(t.AppendDeltaRowCodes(std::vector<int32_t>{0, 0}).ok());
+  util::Status s = t.AppendRowCodes({0, 0});
+  EXPECT_FALSE(s.ok());  // Base append would reorder rows past the delta.
+  EXPECT_EQ(t.num_rows(), 5u);
+  t.FoldDelta();
+  EXPECT_TRUE(t.AppendRowCodes({0, 0}).ok());
+}
+
+TEST(TableAppendValidation, DeltaAppendValidatesToo) {
+  Table t = MakeTable();
+  EXPECT_FALSE(t.AppendDeltaRowCodes(std::vector<int32_t>{0}).ok());
+  EXPECT_FALSE(t.AppendDeltaRowCodes(std::vector<int32_t>{99, 0}).ok());
+  EXPECT_EQ(t.num_rows(), 4u);
+  EXPECT_EQ(t.column(0).delta_rows(), 0u);  // No partial column append.
+}
+
+TEST(SnapshotConsistency, CopyPinsRowCountAndGatherHonorsSnapshotRows) {
+  // The stale-size audit: a snapshot (copy) taken at a published count must
+  // keep reading the same rows while the source keeps growing.
+  Table t = MakeTable();
+  ASSERT_TRUE(t.AppendDeltaRowCodes(std::vector<int32_t>{1, 1}).ok());
+  Table snap = t;  // Snapshot at 5 rows.
+  ASSERT_TRUE(t.AppendDeltaRowCodes(std::vector<int32_t>{2, 2}).ok());
+  ASSERT_TRUE(t.AppendDeltaRowCodes(std::vector<int32_t>{0, 3}).ok());
+
+  EXPECT_EQ(snap.num_rows(), 5u);
+  EXPECT_EQ(t.num_rows(), 7u);
+  EXPECT_EQ(snap.RowCodes(4), (std::vector<int32_t>{1, 1}));
+  // Gathering the snapshot's rows gives exactly the snapshot's data.
+  std::vector<size_t> rows = {0, 4};
+  Table g = snap.Gather(rows, "g");
+  EXPECT_EQ(g.RowCodes(1), (std::vector<int32_t>{1, 1}));
+}
+
+}  // namespace
+}  // namespace uae::data

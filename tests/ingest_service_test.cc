@@ -1,0 +1,232 @@
+// ingest/: IngestService queueing + routing + staleness + compaction —
+//  * multi-producer appends all land, in a published prefix, with per-shard
+//    DeltaBuffer routing that matches the partitioner;
+//  * unseen values are counted and flagged as overflow rows;
+//  * StalenessMonitor fires the right triggers for the right shards;
+//  * compaction (auto and explicit) folds without changing what any row
+//    index reads;
+//  * Flush() is a producer-visible barrier; invalid pre-encoded rows are
+//    rejected, not applied.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "ingest/service.h"
+#include "ingest/staleness.h"
+#include "shard/partitioner.h"
+
+namespace uae::ingest {
+namespace {
+
+struct Fixture {
+  data::Table table;
+  shard::HorizontalPartitioner partitioner;
+
+  explicit Fixture(int num_shards = 4, size_t rows = 2000)
+      : table(data::SyntheticDmv(rows, 7)),
+        partitioner(table, [num_shards] {
+          shard::PartitionConfig pc;
+          pc.num_shards = num_shards;
+          return pc;
+        }()) {}
+};
+
+TEST(IngestServiceTest, MultiProducerAppendsAllLand) {
+  Fixture f;
+  IngestConfig cfg;
+  cfg.compact_min_delta = 0;  // Keep everything in the delta for inspection.
+  IngestService svc(&f.table, &f.partitioner, cfg);
+  const size_t before = f.table.num_rows();
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&svc, &f, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        // Copy an existing row's codes: always in-domain.
+        std::vector<int32_t> codes =
+            f.table.RowCodes(static_cast<size_t>(p * 13 + i) % 2000);
+        ASSERT_TRUE(svc.AppendCodes(std::move(codes)));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  svc.Flush();
+
+  EXPECT_EQ(f.table.num_rows(), before + kProducers * kPerProducer);
+  IngestStats st = svc.stats();
+  EXPECT_EQ(st.rows_appended, static_cast<uint64_t>(kProducers * kPerProducer));
+  EXPECT_EQ(st.rows_rejected, 0u);
+  size_t routed = 0;
+  for (int s = 0; s < svc.num_shards(); ++s) routed += svc.shard_buffer(s).size();
+  EXPECT_EQ(routed, static_cast<size_t>(kProducers * kPerProducer));
+}
+
+TEST(IngestServiceTest, RoutingMatchesPartitionerAndRowsReadBack) {
+  Fixture f(4, 500);
+  IngestConfig cfg;
+  cfg.compact_min_delta = 0;
+  IngestService svc(&f.table, &f.partitioner, cfg);
+  const int pcol = f.partitioner.partition_col();
+
+  for (size_t r = 0; r < 64; ++r) {
+    ASSERT_TRUE(svc.AppendCodes(f.table.RowCodes(r)));
+  }
+  svc.Flush();
+
+  for (int s = 0; s < svc.num_shards(); ++s) {
+    const DeltaBuffer& buf = svc.shard_buffer(s);
+    for (size_t i = 0; i < buf.size(); ++i) {
+      const size_t row = buf.row_at(i);
+      EXPECT_GE(row, 500u);  // Delta rows only.
+      EXPECT_FALSE(buf.overflow_at(i));
+      EXPECT_EQ(f.partitioner.ShardForCode(f.table.column(pcol).code_at(row)), s);
+    }
+  }
+}
+
+TEST(IngestServiceTest, UnseenValuesCountedAndFlagged) {
+  // A 3-column integer table so we control the value space exactly.
+  std::vector<data::Column> cols;
+  cols.push_back(data::Column::FromInts("k", {0, 10, 20, 30, 40, 50, 60, 70}));
+  cols.push_back(data::Column::FromInts("x", {1, 1, 2, 2, 3, 3, 4, 4}));
+  cols.push_back(data::Column::FromInts("y", {5, 6, 5, 6, 5, 6, 5, 6}));
+  data::Table table("t", std::move(cols));
+  shard::PartitionConfig pc;
+  pc.num_shards = 2;
+  pc.partition_col = 0;
+  shard::HorizontalPartitioner part(table, pc);
+  IngestConfig cfg;
+  cfg.compact_min_delta = 0;
+  IngestService svc(&table, &part, cfg);
+
+  // Seen row, then a row with an unseen partition value (35 sorts between 30
+  // and 40 -> routed by value), then an unseen non-partition value.
+  ASSERT_TRUE(svc.Append({data::Value(int64_t{10}), data::Value(int64_t{1}),
+                          data::Value(int64_t{5})}));
+  ASSERT_TRUE(svc.Append({data::Value(int64_t{35}), data::Value(int64_t{2}),
+                          data::Value(int64_t{6})}));
+  ASSERT_TRUE(svc.Append({data::Value(int64_t{20}), data::Value(int64_t{9}),
+                          data::Value(int64_t{5})}));
+  svc.Flush();
+
+  IngestStats st = svc.stats();
+  EXPECT_EQ(st.rows_appended, 3u);
+  EXPECT_EQ(st.unseen_values, 2u);   // 35 and 9.
+  EXPECT_EQ(st.overflow_rows, 2u);   // Rows 2 and 3.
+  size_t overflow = 0;
+  for (int s = 0; s < svc.num_shards(); ++s) {
+    overflow += svc.shard_buffer(s).overflow_rows();
+  }
+  EXPECT_EQ(overflow, 2u);
+  // The unseen partition value routed to the shard owning its sort position.
+  const data::Column& k = table.column(0);
+  const int expect_shard =
+      part.ShardForCode(k.LowerBoundCode(data::Value(int64_t{35})));
+  EXPECT_EQ(part.ShardForIngestCode(*k.CodeForValue(data::Value(int64_t{35})), k),
+            expect_shard);
+}
+
+TEST(IngestServiceTest, InvalidPreEncodedRowsRejected) {
+  Fixture f(2, 200);
+  IngestConfig cfg;
+  cfg.compact_min_delta = 0;
+  IngestService svc(&f.table, &f.partitioner, cfg);
+  ASSERT_TRUE(svc.AppendCodes({0}));                        // Wrong arity.
+  ASSERT_TRUE(svc.AppendCodes(std::vector<int32_t>(        // Out of domain.
+      static_cast<size_t>(f.table.num_cols()), 1 << 20)));
+  ASSERT_TRUE(svc.AppendCodes(f.table.RowCodes(0)));        // Valid.
+  svc.Flush();
+  IngestStats st = svc.stats();
+  EXPECT_EQ(st.rows_rejected, 2u);
+  EXPECT_EQ(st.rows_appended, 1u);
+  EXPECT_EQ(f.table.num_rows(), 201u);
+}
+
+TEST(IngestServiceTest, AutoCompactionFoldsWithoutChangingReads) {
+  Fixture f(2, 300);
+  IngestConfig cfg;
+  cfg.compact_min_delta = 64;
+  IngestService svc(&f.table, &f.partitioner, cfg);
+  // Snapshot the rows to replay BEFORE streaming: once auto-compaction can
+  // run, unpinned reads of live rows are off-contract.
+  std::vector<std::vector<int32_t>> appended;
+  for (size_t i = 0; i < 200; ++i) appended.push_back(f.table.RowCodes(i % 300));
+  for (const auto& codes : appended) ASSERT_TRUE(svc.AppendCodes(codes));
+  svc.Flush();
+  EXPECT_GT(svc.stats().compactions, 0u);
+  EXPECT_EQ(f.table.num_rows(), 500u);
+  // Every appended row reads back at its global index, compacted or not.
+  for (size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(f.table.RowCodes(300 + i), appended[i]) << "row " << i;
+  }
+  // Explicit compaction folds the remainder.
+  svc.CompactNow();
+  EXPECT_EQ(f.table.delta_rows(), 0u);
+  EXPECT_EQ(f.table.base_rows(), 500u);
+  EXPECT_EQ(svc.stats().folded_rows, 200u);
+}
+
+TEST(IngestServiceTest, CloseUnblocksAndRejectsProducers) {
+  Fixture f(2, 100);
+  IngestService svc(&f.table, &f.partitioner);
+  ASSERT_TRUE(svc.AppendCodes(f.table.RowCodes(0)));
+  svc.Flush();
+  svc.Close();
+  EXPECT_FALSE(svc.AppendCodes(f.table.RowCodes(1)));
+  EXPECT_EQ(f.table.num_rows(), 101u);
+}
+
+TEST(StalenessMonitorTest, TriggersFireForTheRightShards) {
+  Fixture f(4, 2000);
+  IngestConfig cfg;
+  cfg.compact_min_delta = 0;
+  IngestService svc(&f.table, &f.partitioner, cfg);
+
+  // Route ~80 rows into shard 0 only: replay rows whose partition code lives
+  // in shard 0.
+  const int pcol = f.partitioner.partition_col();
+  size_t sent = 0;
+  for (size_t r = 0; r < 2000 && sent < 80; ++r) {
+    if (f.partitioner.ShardForCode(f.table.column(pcol).code_at(r)) == 0) {
+      ASSERT_TRUE(svc.AppendCodes(f.table.RowCodes(r)));
+      ++sent;
+    }
+  }
+  ASSERT_EQ(sent, 80u);
+  svc.Flush();
+
+  StalenessConfig sc;
+  sc.trigger_rows = 64;
+  sc.trigger_delta_ratio = 0;   // Disabled.
+  sc.trigger_unseen_rows = 0;   // Disabled.
+  StalenessMonitor monitor(&svc, sc);
+  EXPECT_EQ(monitor.StaleShards(), (std::vector<int>{0}));
+
+  std::vector<ShardStaleness> snap = monitor.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_TRUE(snap[0].stale);
+  EXPECT_EQ(snap[0].rows_since_refresh, 80u);
+  EXPECT_FALSE(snap[1].stale);
+
+  // The ratio trigger fires relative to each shard's base rows.
+  StalenessConfig ratio_cfg;
+  ratio_cfg.trigger_rows = 0;
+  ratio_cfg.trigger_delta_ratio = 0.10;
+  ratio_cfg.trigger_unseen_rows = 0;
+  StalenessMonitor ratio_monitor(&svc, ratio_cfg);
+  ASSERT_GT(svc.shard_base_rows(0), 0u);
+  const double ratio =
+      80.0 / static_cast<double>(svc.shard_base_rows(0));
+  EXPECT_EQ(ratio_monitor.Snapshot()[0].stale, ratio >= 0.10);
+
+  // MarkRefreshed clears the signal.
+  svc.mutable_shard_buffer(0).MarkRefreshed(svc.shard_buffer(0).size());
+  EXPECT_TRUE(monitor.StaleShards().empty());
+}
+
+}  // namespace
+}  // namespace uae::ingest
