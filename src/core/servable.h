@@ -3,11 +3,14 @@
 // immutable object that can answer cardinality queries; a candidate for
 // hot-swap is any mutable clone that can fine-tune on labeled feedback.
 //
-// Two implementations exist: the monolithic core::Uae (one autoregressive
-// model over one table, the paper's setting) and shard::ShardedUae (one model
-// per horizontal partition with pruned fan-out). The serving and adaptation
-// layers are written against this interface so a sharded deployment hot-swaps
-// and self-repairs exactly like a monolithic one.
+// Implementations: the monolithic core::Uae (one autoregressive model over
+// one table, the paper's setting), shard::ShardedUae (one model per
+// horizontal partition with pruned fan-out), estimators::SpnServable (the
+// query-driven SPN backend), shard::ShardedServable (per-shard instances of
+// any factory-built servable), router::HybridRouter (a servable fronting a
+// zoo of backends), and estimators::ServableEstimatorAdapter (read-only lift
+// of a zoo estimator). The serving and adaptation layers are written against
+// this interface so any deployment hot-swaps and self-repairs the same way.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +34,10 @@ struct FineTuneSpec {
   /// When > 0, hybrid L_data + lambda * L_query epochs instead — slower but
   /// anchored to the data distribution (less forgetting).
   int hybrid_epochs = 0;
+  /// Step size for backends with an explicit fine-tune learning rate (the
+  /// SPN's multiplicative update). 0 means "use the model's default";
+  /// gradient backends with their own optimizer schedule (UAE) ignore it.
+  double learning_rate = 0.0;
 };
 
 class ServableModel {

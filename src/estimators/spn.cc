@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <functional>
+#include <map>
 #include <numeric>
 
+#include "util/common.h"
 #include "util/mathutil.h"
 
 namespace uae::estimators {
@@ -19,12 +23,41 @@ SpnEstimator::SpnEstimator(const data::Table& table, const SpnConfig& config)
   root_ = Build(rows, cols, 0, &rng);
 }
 
+SpnEstimator::SpnEstimator(const SpnEstimator& other)
+    : table_(other.table_),
+      config_(other.config_),
+      root_(CloneNode(*other.root_)),
+      size_bytes_(other.size_bytes_),
+      n_sum_(other.n_sum_),
+      n_product_(other.n_product_),
+      n_leaf_(other.n_leaf_) {}
+
+std::unique_ptr<SpnEstimator> SpnEstimator::Clone() const {
+  return std::unique_ptr<SpnEstimator>(new SpnEstimator(*this));
+}
+
+std::unique_ptr<SpnEstimator::Node> SpnEstimator::CloneNode(const Node& node) {
+  auto copy = std::make_unique<Node>();
+  copy->type = node.type;
+  copy->weights = node.weights;
+  copy->col = node.col;
+  copy->hist = node.hist;
+  copy->children.reserve(node.children.size());
+  for (const auto& child : node.children) {
+    copy->children.push_back(CloneNode(*child));
+  }
+  return copy;
+}
+
 std::unique_ptr<SpnEstimator::Node> SpnEstimator::MakeLeaf(
     const std::vector<size_t>& rows, int col) {
   auto leaf = std::make_unique<Node>();
   leaf->type = Node::Type::kLeaf;
   leaf->col = col;
-  int32_t domain = table_->column(col).domain();
+  // Size by total_domain(), not domain(): rows appended through the PR 9
+  // streaming path carry overflow-dictionary codes in
+  // [domain(), total_domain()), and code_at() hands them back verbatim.
+  int32_t domain = table_->column(col).total_domain();
   leaf->hist.assign(static_cast<size_t>(domain), 0.0);
   for (size_t r : rows) {
     leaf->hist[static_cast<size_t>(table_->column(col).code_at(r))] += 1.0;
@@ -78,18 +111,29 @@ std::unique_ptr<SpnEstimator::Node> SpnEstimator::Build(
   for (size_t i = 0; i < cols.size(); ++i) {
     for (size_t j = i + 1; j < cols.size(); ++j) {
       if (find(i) == find(j)) continue;
+      // total_domain(): sampled rows may carry overflow codes, and the MI
+      // helpers bucket-count by raw code.
       double nmi = util::NormalizedMutualInformation(
-          scodes[i], table_->column(cols[i]).domain(), scodes[j],
-          table_->column(cols[j]).domain());
+          scodes[i], table_->column(cols[i]).total_domain(), scodes[j],
+          table_->column(cols[j]).total_domain());
       if (nmi > config_.corr_threshold) uf[find(i)] = find(j);
     }
   }
+  // Materialize groups in a deterministic order — keyed by each group's
+  // smallest member column, not by unordered_map iteration order (which is
+  // stdlib-hash-dependent and violates docs/DETERMINISM.md). `cols` stays
+  // ascending through the recursion, so each group's first member is its
+  // smallest and std::map gives the canonical ordering.
   std::unordered_map<size_t, std::vector<int>> groups;
   for (size_t i = 0; i < cols.size(); ++i) groups[find(i)].push_back(cols[i]);
   if (groups.size() > 1) {
+    std::map<int, std::vector<int>> ordered;
+    for (auto& [rep, group] : groups) {
+      ordered.emplace(group.front(), std::move(group));
+    }
     auto node = std::make_unique<Node>();
     node->type = Node::Type::kProduct;
-    for (auto& [rep, group] : groups) {
+    for (auto& [min_col, group] : ordered) {
       node->children.push_back(Build(rows, group, depth + 1, rng));
     }
     ++n_product_;
@@ -100,7 +144,8 @@ std::unique_ptr<SpnEstimator::Node> SpnEstimator::Build(
   const size_t k = 2;
   std::vector<double> scale(cols.size());
   for (size_t ci = 0; ci < cols.size(); ++ci) {
-    scale[ci] = 1.0 / std::max<int32_t>(1, table_->column(cols[ci]).domain() - 1);
+    scale[ci] =
+        1.0 / std::max<int32_t>(1, table_->column(cols[ci]).total_domain() - 1);
   }
   auto feature = [&](size_t row, size_t ci) {
     return static_cast<double>(table_->column(cols[ci]).code_at(row)) * scale[ci];
@@ -149,8 +194,8 @@ std::unique_ptr<SpnEstimator::Node> SpnEstimator::Build(
     right.clear();
     size_t widest = 0;
     for (size_t ci = 1; ci < cols.size(); ++ci) {
-      if (table_->column(cols[ci]).domain() >
-          table_->column(cols[widest]).domain()) {
+      if (table_->column(cols[ci]).total_domain() >
+          table_->column(cols[widest]).total_domain()) {
         widest = ci;
       }
     }
@@ -184,6 +229,11 @@ double SpnEstimator::Evaluate(
       if (col_weights != nullptr) {
         auto it = col_weights->find(node.col);
         if (it != col_weights->end()) {
+          UAE_CHECK(it->second.size() >= node.hist.size())
+              << "col_weights vector for column " << node.col
+              << " shorter than the leaf histogram (" << it->second.size()
+              << " < " << node.hist.size()
+              << "); weights must cover the column's total_domain()";
           double e = 0.0;
           for (size_t v = 0; v < node.hist.size(); ++v) {
             e += node.hist[v] * it->second[v];
@@ -224,10 +274,224 @@ double SpnEstimator::EstimateCard(const workload::Query& query) const {
   return Evaluate(*root_, query, nullptr) * static_cast<double>(table_->num_rows());
 }
 
+double SpnEstimator::EstimateSelectivity(const workload::Query& query) const {
+  return Evaluate(*root_, query, nullptr);
+}
+
 double SpnEstimator::EstimateSelectivityWeighted(
     const workload::Query& query,
     const std::unordered_map<int, std::vector<float>>& col_weights) const {
   return Evaluate(*root_, query, &col_weights);
+}
+
+// ---------------------------------------------------------------------------
+// Query-driven fine-tuning (arXiv 2505.08318-style multiplicative updates).
+// ---------------------------------------------------------------------------
+
+double SpnEstimator::EvalStore(Node* node, const workload::Query& query) {
+  switch (node->type) {
+    case Node::Type::kLeaf: {
+      const workload::Constraint& cons = query.constraint(node->col);
+      double mass;
+      if (!cons.IsActive()) {
+        mass = 1.0;
+      } else {
+        mass = 0.0;
+        for (size_t v = 0; v < node->hist.size(); ++v) {
+          if (node->hist[v] > 0.0 && cons.Matches(static_cast<int32_t>(v))) {
+            mass += node->hist[v];
+          }
+        }
+      }
+      node->scratch = mass;
+      return mass;
+    }
+    case Node::Type::kProduct: {
+      double p = 1.0;
+      // No zero early-exit: the backward pass needs every child's value to
+      // form single-zero-sibling gradients.
+      for (auto& child : node->children) p *= EvalStore(child.get(), query);
+      node->scratch = p;
+      return p;
+    }
+    case Node::Type::kSum: {
+      double p = 0.0;
+      for (size_t c = 0; c < node->children.size(); ++c) {
+        p += node->weights[c] * EvalStore(node->children[c].get(), query);
+      }
+      node->scratch = p;
+      return p;
+    }
+  }
+  node->scratch = 0.0;
+  return 0.0;
+}
+
+void SpnEstimator::ApplyUpdate(Node* node, const workload::Query& query,
+                               double grad, double lr_log_ratio,
+                               double root_sel) {
+  if (grad <= 0.0) return;  // No probability flow through this node.
+  switch (node->type) {
+    case Node::Type::kLeaf: {
+      const workload::Constraint& cons = query.constraint(node->col);
+      // Unconstrained leaves contribute a constant 1 — nothing to learn.
+      if (!cons.IsActive()) return;
+      if (node->scratch <= 0.0) return;
+      // share = this leaf's responsibility for the root selectivity, in
+      // (0, 1]; scaling the exponent by it focuses the step where the
+      // query's mass actually came from.
+      double share = grad * node->scratch / root_sel;
+      double factor = std::exp(lr_log_ratio * share);
+      double total = 0.0;
+      for (size_t v = 0; v < node->hist.size(); ++v) {
+        if (node->hist[v] > 0.0 && cons.Matches(static_cast<int32_t>(v))) {
+          node->hist[v] *= factor;
+        }
+        total += node->hist[v];
+      }
+      if (total > 0.0) {
+        double inv = 1.0 / total;
+        for (double& v : node->hist) v *= inv;
+      }
+      return;
+    }
+    case Node::Type::kProduct: {
+      // d(product)/d(child c) = product of the siblings. Track zeros so a
+      // single zero-valued child still receives gradient (it is exactly the
+      // child suppressing the query).
+      int zeros = 0;
+      double nonzero_prod = 1.0;
+      for (const auto& child : node->children) {
+        if (child->scratch == 0.0) {
+          ++zeros;
+        } else {
+          nonzero_prod *= child->scratch;
+        }
+      }
+      for (auto& child : node->children) {
+        double g;
+        if (zeros == 0) {
+          g = grad * nonzero_prod / child->scratch;
+        } else if (zeros == 1 && child->scratch == 0.0) {
+          g = grad * nonzero_prod;
+        } else {
+          g = 0.0;
+        }
+        ApplyUpdate(child.get(), query, g, lr_log_ratio, root_sel);
+      }
+      return;
+    }
+    case Node::Type::kSum: {
+      // Children see gradients under the pre-update weights; then each
+      // mixture weight moves by its responsibility share and the mixture is
+      // renormalized (an EM-flavoured reweighting).
+      std::vector<double> pre = node->weights;
+      for (size_t c = 0; c < node->children.size(); ++c) {
+        ApplyUpdate(node->children[c].get(), query, grad * pre[c],
+                    lr_log_ratio, root_sel);
+      }
+      double total = 0.0;
+      for (size_t c = 0; c < node->children.size(); ++c) {
+        double share =
+            grad * pre[c] * node->children[c]->scratch / root_sel;
+        node->weights[c] = pre[c] * std::exp(lr_log_ratio * share);
+        total += node->weights[c];
+      }
+      if (total > 0.0) {
+        double inv = 1.0 / total;
+        for (double& w : node->weights) w *= inv;
+      }
+      return;
+    }
+  }
+}
+
+size_t SpnEstimator::FineTuneOnQueries(const workload::Workload& workload,
+                                       int steps,
+                                       const SpnFineTuneConfig& config) {
+  if (workload.empty() || steps <= 0 || config.learning_rate <= 0.0) return 0;
+  double rows = std::max<double>(1.0, static_cast<double>(table_->num_rows()));
+  std::vector<uint8_t> applied(workload.size(), 0);
+  for (int step = 0; step < steps; ++step) {
+    size_t idx = static_cast<size_t>(step) % workload.size();
+    const workload::LabeledQuery& lq = workload[idx];
+    double sel = EvalStore(root_.get(), lq.query);
+    if (!(sel > config.min_selectivity)) continue;
+    // True selectivity, floored at half a row so zero-card labels pull the
+    // estimate down without a log(0).
+    double truth = std::max(static_cast<double>(lq.card), 0.5) / rows;
+    double ratio = truth / sel;
+    ratio = std::min(std::max(ratio, 1.0 / config.max_update_ratio),
+                     config.max_update_ratio);
+    double lr_log_ratio = config.learning_rate * std::log(ratio);
+    if (lr_log_ratio != 0.0) {
+      ApplyUpdate(root_.get(), lq.query, 1.0, lr_log_ratio, sel);
+    }
+    applied[idx] = 1;
+  }
+  size_t used = 0;
+  for (uint8_t a : applied) used += a;
+  return used;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection.
+// ---------------------------------------------------------------------------
+
+std::vector<int> SpnEstimator::PreorderLeafColumns() const {
+  std::vector<int> out;
+  std::function<void(const Node&)> visit = [&](const Node& node) {
+    if (node.type == Node::Type::kLeaf) {
+      out.push_back(node.col);
+      return;
+    }
+    for (const auto& child : node.children) visit(*child);
+  };
+  visit(*root_);
+  return out;
+}
+
+std::string SpnEstimator::StructureSignature() const {
+  std::string sig;
+  sig.reserve(1024);
+  char buf[32];
+  auto put_bits = [&](double d) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(bits));
+    sig += buf;
+  };
+  std::function<void(const Node&)> visit = [&](const Node& node) {
+    switch (node.type) {
+      case Node::Type::kSum:
+        sig += "S(";
+        for (double w : node.weights) {
+          put_bits(w);
+          sig += ',';
+        }
+        break;
+      case Node::Type::kProduct:
+        sig += "P(";
+        break;
+      case Node::Type::kLeaf:
+        sig += "L";
+        std::snprintf(buf, sizeof(buf), "%d", node.col);
+        sig += buf;
+        sig += '[';
+        for (double h : node.hist) {
+          put_bits(h);
+          sig += ',';
+        }
+        sig += ']';
+        return;
+    }
+    for (const auto& child : node.children) visit(*child);
+    sig += ')';
+  };
+  visit(*root_);
+  return sig;
 }
 
 }  // namespace uae::estimators

@@ -6,15 +6,22 @@
 //
 // For the join experiments the leaves also evaluate expectations of per-code
 // weights (1/F fanout downscaling), matching DeepDB's fanout handling.
+//
+// Beyond the data-only DeepDB construction, the SPN supports query-driven
+// fine-tuning (arXiv 2505.08318's unified data+query view): labeled query
+// feedback multiplicatively reweights sum-node mixtures and leaf histogram
+// bins toward observed selectivities. See FineTuneOnQueries.
 #pragma once
 
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "data/table.h"
 #include "estimators/estimator.h"
 #include "util/rng.h"
+#include "workload/query.h"
 
 namespace uae::estimators {
 
@@ -31,6 +38,24 @@ struct SpnConfig {
   uint64_t seed = 31;
 };
 
+/// Knobs for the query-driven multiplicative/EM update (arXiv 2505.08318
+/// style: nudge the SPN's parameters so its selectivity for each labeled
+/// query moves toward the observed truth, without re-reading the table).
+struct SpnFineTuneConfig {
+  /// Step size of the multiplicative update. 0 disables learning. Kept
+  /// deliberately small: larger rates overshoot and oscillate when the same
+  /// feedback queries are cycled for many steps.
+  double learning_rate = 0.1;
+  /// The per-query truth/estimate ratio is clamped into
+  /// [1/max_update_ratio, max_update_ratio] before taking its log, so a
+  /// single wildly mislabeled query cannot blow up the parameters.
+  double max_update_ratio = 8.0;
+  /// Queries whose current estimate falls below this are skipped: a
+  /// multiplicative update cannot create mass in zero bins, and dividing by
+  /// a denormal estimate is numerically meaningless.
+  double min_selectivity = 1e-12;
+};
+
 class SpnEstimator : public CardinalityEstimator {
  public:
   SpnEstimator(const data::Table& table, const SpnConfig& config);
@@ -39,18 +64,56 @@ class SpnEstimator : public CardinalityEstimator {
   double EstimateCard(const workload::Query& query) const override;
   size_t SizeBytes() const override { return size_bytes_; }
 
+  /// Root selectivity in [0, 1]; EstimateCard is this times the table's
+  /// *live* row count. Servable wrappers that must stay pure under
+  /// concurrent ingest snapshot a row count and use this instead.
+  double EstimateSelectivity(const workload::Query& query) const;
+
   /// Selectivity with per-column weight vectors (join fanout downscaling):
   /// columns present in `col_weights` contribute E[w(v)] instead of P(region).
+  /// Every referenced weight vector must cover the leaf histogram, i.e. have
+  /// size >= the column's total_domain() at build time (checked).
   double EstimateSelectivityWeighted(
       const workload::Query& query,
       const std::unordered_map<int, std::vector<float>>& col_weights) const;
+
+  /// Deep copy: the clone shares nothing with *this (bitwise-identical
+  /// parameters, independent storage) and references the same table.
+  std::unique_ptr<SpnEstimator> Clone() const;
+
+  /// Query-driven fine-tune: runs `steps` multiplicative updates, cycling
+  /// deterministically through `workload` in order. Each step moves the
+  /// SPN's selectivity for one labeled query toward the observed truth by
+  /// backpropagating a per-node responsibility share and reweighting sum
+  /// mixtures / leaf bins multiplicatively (then renormalizing). Purely
+  /// sequential and deterministic: same (model, workload, steps, config) ->
+  /// bitwise-identical parameters, regardless of caller thread count.
+  /// Returns the number of distinct workload queries that produced an
+  /// update (0 means the model is unchanged).
+  size_t FineTuneOnQueries(const workload::Workload& workload, int steps,
+                           const SpnFineTuneConfig& config);
 
   /// Structural statistics, exposed for tests.
   int num_sum_nodes() const { return n_sum_; }
   int num_product_nodes() const { return n_product_; }
   int num_leaves() const { return n_leaf_; }
 
+  /// Leaf columns in preorder (children visited in stored order). Product
+  /// splits must emit children ordered by smallest member column, so for a
+  /// pure product split over k columns this is 0..k-1 sorted — pinned by
+  /// the determinism regression tests.
+  std::vector<int> PreorderLeafColumns() const;
+
+  /// Bitwise fingerprint of the full parameterization: node types, leaf
+  /// columns, and the exact bit patterns of every weight and histogram
+  /// entry, in preorder. Two SPNs are parameter-identical iff their
+  /// signatures match. Used by clone/determinism/shard-isolation tests.
+  std::string StructureSignature() const;
+
  private:
+  /// Deep copy used by Clone(); copies the tree node-by-node.
+  SpnEstimator(const SpnEstimator& other);
+
   struct Node {
     enum class Type { kSum, kProduct, kLeaf };
     Type type;
@@ -59,7 +122,10 @@ class SpnEstimator : public CardinalityEstimator {
     std::vector<double> weights;
     // Leaf.
     int col = -1;
-    std::vector<double> hist;  ///< Normalized frequencies over the domain.
+    std::vector<double> hist;  ///< Normalized frequencies over total_domain.
+    /// Bottom-up value cached by fine-tune's forward pass; meaningless
+    /// outside FineTuneOnQueries (which is single-threaded by contract).
+    double scratch = 0.0;
   };
 
   std::unique_ptr<Node> Build(const std::vector<size_t>& rows,
@@ -70,6 +136,18 @@ class SpnEstimator : public CardinalityEstimator {
   std::unique_ptr<Node> MakeLeaf(const std::vector<size_t>& rows, int col);
   double Evaluate(const Node& node, const workload::Query& query,
                   const std::unordered_map<int, std::vector<float>>* col_weights) const;
+
+  static std::unique_ptr<Node> CloneNode(const Node& node);
+  /// Forward pass for fine-tune: like Evaluate without col_weights, but
+  /// stores each node's value in `scratch` and never early-exits (the
+  /// backward pass needs every child's value).
+  static double EvalStore(Node* node, const workload::Query& query);
+  /// Backward pass: `grad` is dS/d(value of node) under the pre-update
+  /// parameters, `root_sel` the forward root value. Applies the
+  /// multiplicative update exp(lr * log_ratio * share) to sum weights and
+  /// matching leaf bins, renormalizing each touched distribution.
+  static void ApplyUpdate(Node* node, const workload::Query& query,
+                          double grad, double lr_log_ratio, double root_sel);
 
   const data::Table* table_;
   SpnConfig config_;

@@ -157,6 +157,7 @@ AdaptationResult AdaptationController::RunAdaptation(
   core::FineTuneSpec spec;
   spec.query_steps = config_.finetune_steps;
   spec.hybrid_epochs = config_.hybrid_epochs;
+  spec.learning_rate = config_.finetune_learning_rate;
   result.finetuned_size = candidate->FineTune(train, spec);
   if (config_.finetune_hook) config_.finetune_hook();
 

@@ -48,6 +48,10 @@ struct AdaptationConfig {
   /// Alg. 3) for this many epochs instead of pure UAE-Q steps — slower, but
   /// anchors the candidate to the data distribution (less forgetting).
   int hybrid_epochs = 0;
+  /// Forwarded to FineTuneSpec.learning_rate: step size for backends with an
+  /// explicit fine-tune learning rate (the SPN's multiplicative update).
+  /// 0 keeps each model's own default; the UAE ignores it.
+  double finetune_learning_rate = 0.0;
   double holdout_fraction = 0.25; ///< Feedback held out for the guard.
   size_t min_feedback = 64;       ///< Don't adapt below this many entries.
   /// Reject the candidate when its held-out median q-error exceeds the

@@ -35,6 +35,8 @@ const char* BackendName(Backend b) {
       return "knn";
     case Backend::kFloor:
       return "floor";
+    case Backend::kAlt:
+      return "alt";
   }
   return "?";
 }
@@ -131,6 +133,9 @@ double HybridRouter::EstimateVia(Backend backend, const workload::Query& query,
       return std::clamp(std::exp(*log_card), 0.0,
                         static_cast<double>(primary_->num_rows()));
     }
+    case Backend::kAlt:
+      UAE_CHECK(alt_ != nullptr);
+      return alt_->EstimateCard(query);
     case Backend::kPrimary:
       break;
   }
@@ -156,6 +161,9 @@ double HybridRouter::EstimateCard(const workload::Query& query) const {
       !route->knn.PredictLogCard(qc.features, config_.knn).has_value()) {
     backend = Backend::kPrimary;  // Stale/underfilled snapshot: fall back.
   }
+  if (backend == Backend::kAlt && alt_ == nullptr) {
+    backend = Backend::kPrimary;  // Table predates an alt teardown.
+  }
   if (CheckDegraded()) {
     backend = Backend::kFloor;
     degraded_requests_.fetch_add(1, std::memory_order_relaxed);
@@ -174,8 +182,8 @@ std::vector<double> HybridRouter::EstimateCards(
   const bool degraded = CheckDegraded();
 
   std::vector<double> out(queries.size(), 0.0);
-  std::vector<workload::Query> primary_queries;
-  std::vector<size_t> primary_slots;
+  std::vector<workload::Query> primary_queries, alt_queries;
+  std::vector<size_t> primary_slots, alt_slots;
   for (size_t i = 0; i < queries.size(); ++i) {
     const uint64_t start = NowMicros();
     const workload::Query& query = queries[i];
@@ -194,6 +202,9 @@ std::vector<double> HybridRouter::EstimateCards(
         !route->knn.PredictLogCard(qc.features, config_.knn).has_value()) {
       backend = Backend::kPrimary;
     }
+    if (backend == Backend::kAlt && alt_ == nullptr) {
+      backend = Backend::kPrimary;
+    }
     if (degraded) {
       backend = Backend::kFloor;
       degraded_requests_.fetch_add(1, std::memory_order_relaxed);
@@ -204,28 +215,41 @@ std::vector<double> HybridRouter::EstimateCards(
       primary_slots.push_back(i);
       continue;
     }
+    if (backend == Backend::kAlt) {
+      // Full-model backends both get their batched path.
+      alt_queries.push_back(query);
+      alt_slots.push_back(i);
+      continue;
+    }
     out[i] = EstimateVia(backend, query, qc, route);
     RecordServed(backend, NowMicros() - start);
   }
 
-  if (!primary_queries.empty()) {
+  const auto run_batch = [&](core::ServableModel const& model, Backend backend,
+                             const std::vector<workload::Query>& batch,
+                             const std::vector<size_t>& slots) {
+    if (batch.empty()) return;
     const uint64_t start = NowMicros();
-    const std::vector<double> results = primary_->EstimateCards(
-        std::span<const workload::Query>(primary_queries));
-    UAE_CHECK_EQ(results.size(), primary_slots.size());
+    const std::vector<double> results =
+        model.EstimateCards(std::span<const workload::Query>(batch));
+    UAE_CHECK_EQ(results.size(), slots.size());
     // Per-request latency is the batch mean — the batch is the unit of work.
-    const uint64_t per_request =
-        (NowMicros() - start) / primary_slots.size();
-    for (size_t j = 0; j < primary_slots.size(); ++j) {
-      out[primary_slots[j]] = results[j];
-      RecordServed(Backend::kPrimary, per_request);
+    const uint64_t per_request = (NowMicros() - start) / slots.size();
+    for (size_t j = 0; j < slots.size(); ++j) {
+      out[slots[j]] = results[j];
+      RecordServed(backend, per_request);
     }
+  };
+  run_batch(*primary_, Backend::kPrimary, primary_queries, primary_slots);
+  if (alt_ != nullptr) {
+    run_batch(*alt_, Backend::kAlt, alt_queries, alt_slots);
   }
   return out;
 }
 
 size_t HybridRouter::SizeBytes() const {
   size_t bytes = primary_->SizeBytes() + floor_->SizeBytes();
+  if (alt_ != nullptr) bytes += alt_->SizeBytes();
   const auto table = Table();
   for (const auto& [fss, route] : table->routes) {
     bytes += sizeof(fss) + sizeof(route) +
@@ -237,6 +261,7 @@ size_t HybridRouter::SizeBytes() const {
 std::shared_ptr<core::ServableModel> HybridRouter::CloneServable() const {
   auto clone = std::make_shared<HybridRouter>(
       primary_->CloneServable(), floor_, domains_, config_);
+  clone->alt_ = alt_;  // Immutable through the router; shared like the floor.
   // The clone starts from this router's current routing table (re-published
   // as its own generation 1) with fresh learner state and stats.
   auto table = std::make_shared<RoutingTable>(*Table());
@@ -285,7 +310,11 @@ size_t HybridRouter::ObserveFeedback(
     // Attribute the served estimate's q-error to the backend the class was
     // routed to when it was served (an approximation: the entry does not
     // record its backend, and degradation may have floored it).
-    const Backend served_by = state.on_knn ? Backend::kKnn : Backend::kPrimary;
+    const Backend served_by = state.on_knn
+                                  ? Backend::kKnn
+                                  : (state.on_alt && alt_ != nullptr
+                                         ? Backend::kAlt
+                                         : Backend::kPrimary);
     const double served_q = QError(entry.estimated_card, entry.true_card);
     qerr_windows_[static_cast<size_t>(served_by)].Add(served_q,
                                                       config_.qerr_window);
@@ -307,6 +336,18 @@ size_t HybridRouter::ObserveFeedback(
     ema_update(Backend::kFloor, floor_q);
     qerr_windows_[static_cast<size_t>(Backend::kFloor)].Add(
         floor_q, config_.qerr_window);
+    if (alt_ != nullptr) {
+      // Shadow-evaluate the alt model too — its EMA is what promotion must
+      // judge. (When the class already serves from the alt, the served
+      // q-error above is the same signal; skip the duplicate window sample.)
+      const double alt_q =
+          QError(alt_->EstimateCard(entry.query), entry.true_card);
+      ema_update(Backend::kAlt, alt_q);
+      if (served_by != Backend::kAlt) {
+        qerr_windows_[static_cast<size_t>(Backend::kAlt)].Add(
+            alt_q, config_.qerr_window);
+      }
+    }
 
     state.ring.Add(qc.features, std::log(std::max(1.0, entry.true_card)));
     ++folded;
@@ -342,6 +383,37 @@ size_t HybridRouter::ObserveFeedback(
         state.demote_streak = 0;
       }
     }
+
+    // Alt state machine, independent of kNN (RepublishLocked gives kNN
+    // precedence: a class on both serves from kNN).
+    if (alt_ != nullptr) {
+      const size_t alt_i = static_cast<size_t>(Backend::kAlt);
+      const bool has_alt = state.qerr_n[alt_i] > 0;
+      const double alt_q = has_alt ? std::exp(state.qerr_log[alt_i]) : 0.0;
+      const bool alt_promotable =
+          has_alt && state.qerr_n[pri_i] > 0 &&
+          alt_q <= config_.alt_promote_qerr &&
+          alt_q * config_.alt_promote_margin <= pri_q;
+      const bool alt_demotable =
+          !has_alt || alt_q > config_.alt_demote_qerr || alt_q > pri_q;
+      if (!state.on_alt) {
+        state.alt_promote_streak =
+            alt_promotable ? state.alt_promote_streak + 1 : 0;
+        if (state.alt_promote_streak >= config_.promote_after) {
+          state.on_alt = true;
+          state.alt_promote_streak = 0;
+          state.alt_demote_streak = 0;
+        }
+      } else {
+        state.alt_demote_streak =
+            alt_demotable ? state.alt_demote_streak + 1 : 0;
+        if (state.alt_demote_streak >= config_.demote_after) {
+          state.on_alt = false;
+          state.alt_promote_streak = 0;
+          state.alt_demote_streak = 0;
+        }
+      }
+    }
   }
 
   if (folded > 0) RepublishLocked();
@@ -360,14 +432,24 @@ void HybridRouter::RepublishLocked() {
   table->routes.reserve(classes_.size());
   for (const auto& [fss, state] : classes_) {
     ClassRoute route;
-    route.backend = state.on_knn ? Backend::kKnn : Backend::kPrimary;
     if (state.on_knn) {
+      route.backend = Backend::kKnn;
       route.knn = state.ring.Freeze();
       ++table->knn_classes;
+    } else if (state.on_alt && alt_ != nullptr) {
+      route.backend = Backend::kAlt;
+      ++table->alt_classes;
+    } else {
+      route.backend = Backend::kPrimary;
     }
     table->routes.emplace(fss, std::move(route));
   }
   PublishTable(std::move(table));
+}
+
+void HybridRouter::SetAltBackend(
+    std::shared_ptr<const core::ServableModel> alt) {
+  alt_ = std::move(alt);
 }
 
 void HybridRouter::SetLoadProbe(LoadProbe probe) { probe_ = std::move(probe); }
@@ -384,6 +466,9 @@ Backend HybridRouter::RouteFor(const workload::Query& query) const {
   if (it == table->routes.end()) return Backend::kPrimary;
   if (it->second.backend == Backend::kKnn &&
       !it->second.knn.PredictLogCard(qc.features, config_.knn).has_value()) {
+    return Backend::kPrimary;
+  }
+  if (it->second.backend == Backend::kAlt && alt_ == nullptr) {
     return Backend::kPrimary;
   }
   return it->second.backend;
@@ -407,6 +492,7 @@ RouterStatsSnapshot HybridRouter::RouterStats() const {
   snap.routing_generation = table->generation;
   snap.classes = table->routes.size();
   snap.knn_classes = table->knn_classes;
+  snap.alt_classes = table->alt_classes;
   snap.degraded = degraded_.load(std::memory_order_relaxed);
   snap.degraded_requests = degraded_requests_.load(std::memory_order_relaxed);
   snap.degrade_transitions = degrade_transitions_.load(std::memory_order_relaxed);

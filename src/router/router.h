@@ -1,7 +1,7 @@
 // HybridRouter — a core::ServableModel that fronts the estimator zoo with
 // per-query-class routing and graceful degradation (ROADMAP item 3).
 //
-// Three backends, one ladder:
+// Three backends always, one more optional, one ladder:
 //   * primary — the served deep model (UAE, sharded, quantized — any
 //     ServableModel). Default for every class: accurate, milliseconds.
 //   * kNN     — an online per-class k-nearest-neighbour regression over
@@ -12,6 +12,12 @@
 //     any estimators::CardinalityEstimator). Engages per request when the
 //     load probe reports an SLO breach: under overload the router degrades
 //     to cheap-but-bounded answers instead of stalling the queue.
+//   * alt     — an optional second full ServableModel (the query-driven SPN
+//     backend: sampling-free single-pass inference). Shadow-evaluated on
+//     every feedback entry; a class is promoted onto it when its rolling alt
+//     q-error beats the primary's by a margin (and demoted when the edge
+//     disappears). kNN outranks alt — a class cheap enough for the
+//     microsecond path never pays a model inference at all.
 //
 // Routing tables are learned ONLINE from the serving feedback stream
 // (online::FeedbackCollector): ObserveFeedback() folds drained entries into
@@ -50,8 +56,8 @@
 namespace uae::router {
 
 /// Which backend answered (indices into per-backend stat arrays).
-enum class Backend : uint8_t { kPrimary = 0, kKnn = 1, kFloor = 2 };
-inline constexpr size_t kNumBackends = 3;
+enum class Backend : uint8_t { kPrimary = 0, kKnn = 1, kFloor = 2, kAlt = 3 };
+inline constexpr size_t kNumBackends = 4;
 const char* BackendName(Backend b);
 
 /// Instantaneous load signal the degradation trigger reads — wired to the
@@ -85,6 +91,19 @@ struct RouterConfig {
   int promote_after = 2;
   int demote_after = 2;
 
+  // ---- Alt backend (only read when SetAltBackend was called) ---------------
+  /// A class is promoted onto the alt model when its rolling alt q-error is
+  /// at or below this absolute bar...
+  double alt_promote_qerr = 4.0;
+  /// ...and beats the primary's rolling q-error by this factor
+  /// (alt_q * margin <= primary_q): the alt must earn its inference cost
+  /// with a real accuracy edge, not a tie.
+  double alt_promote_margin = 1.2;
+  /// Demotion: the class leaves the alt when its rolling alt q-error climbs
+  /// above this absolute bar or above the primary's (edge gone). Promotion /
+  /// demotion streaks reuse promote_after / demote_after.
+  double alt_demote_qerr = 8.0;
+
   // ---- Degradation ladder --------------------------------------------------
   /// Queue-depth ceiling; 0 disables the depth trigger.
   size_t queue_depth_limit = 0;
@@ -117,6 +136,7 @@ struct RouterStatsSnapshot {
   uint64_t feedback_observed = 0;       ///< Feedback entries folded in.
   size_t classes = 0;                   ///< Classes in the published table.
   size_t knn_classes = 0;               ///< ...of which route to kNN.
+  size_t alt_classes = 0;               ///< ...of which route to the alt model.
 };
 
 class HybridRouter : public core::ServableModel {
@@ -138,8 +158,8 @@ class HybridRouter : public core::ServableModel {
   size_t SizeBytes() const override;
   size_t num_rows() const override { return primary_->num_rows(); }
   uint64_t seed() const override { return primary_->seed(); }
-  /// Clones the primary (deep) and shares the immutable floor; the clone
-  /// starts from THIS router's current routing table and fresh stats.
+  /// Clones the primary (deep) and shares the immutable floor and alt; the
+  /// clone starts from THIS router's current routing table and fresh stats.
   std::shared_ptr<core::ServableModel> CloneServable() const override;
   /// Delegates to the primary backend (the only trainable one).
   size_t FineTune(const workload::Workload& workload,
@@ -154,6 +174,16 @@ class HybridRouter : public core::ServableModel {
   size_t ObserveFeedback(std::span<const online::FeedbackEntry> entries);
   /// Convenience fan-in: Drain()s the collector through ObserveFeedback.
   size_t UpdateFromCollector(online::FeedbackCollector* collector);
+
+  /// Installs the optional alt backend (a second full ServableModel, e.g.
+  /// estimators::SpnServable). Like SetLoadProbe, must be wired before
+  /// concurrent serving starts; classes are only ever promoted onto the alt
+  /// after it is set. Pass nullptr to clear.
+  void SetAltBackend(std::shared_ptr<const core::ServableModel> alt);
+  /// The installed alt backend, or nullptr.
+  std::shared_ptr<const core::ServableModel> alt_backend() const {
+    return alt_;
+  }
 
   // ---- Degradation + observability -----------------------------------------
   /// Installs the load signal the degradation trigger reads. Must be wired
@@ -177,17 +207,22 @@ class HybridRouter : public core::ServableModel {
     uint64_t generation = 0;
     std::unordered_map<uint64_t, ClassRoute> routes;
     size_t knn_classes = 0;
+    size_t alt_classes = 0;
   };
 
   /// Learner-side mutable per-class state (guarded by learn_mu_).
   struct ClassState {
     KnnRing ring;
     // Rolling log-q-error EMA + sample count, one per backend.
-    double qerr_log[kNumBackends] = {0.0, 0.0, 0.0};
-    uint64_t qerr_n[kNumBackends] = {0, 0, 0};
+    double qerr_log[kNumBackends] = {};
+    uint64_t qerr_n[kNumBackends] = {};
     bool on_knn = false;
     int promote_streak = 0;
     int demote_streak = 0;
+    // Alt-backend state machine (independent of the kNN one; kNN outranks).
+    bool on_alt = false;
+    int alt_promote_streak = 0;
+    int alt_demote_streak = 0;
     explicit ClassState(size_t capacity) : ring(capacity) {}
   };
 
@@ -203,6 +238,9 @@ class HybridRouter : public core::ServableModel {
 
   const std::shared_ptr<core::ServableModel> primary_;
   const std::shared_ptr<const estimators::CardinalityEstimator> floor_;
+  /// Optional second model backend; immutable once serving starts (wired via
+  /// SetAltBackend like the probe).
+  std::shared_ptr<const core::ServableModel> alt_;
   const std::vector<int32_t> domains_;
   const RouterConfig config_;
 

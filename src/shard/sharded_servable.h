@@ -1,0 +1,83 @@
+// ShardedServable — ShardedUae's deployment shape for *any* servable
+// backend: one factory-built core::ServableModel per horizontal partition,
+// query-time shard pruning, per-shard feedback routing, and deep clones for
+// guarded hot-swap. This is the generic proof that the sharding layer is
+// model-agnostic (ROADMAP item 5): `ShardedServable(table, cfg, SpnFactory)`
+// deploys per-shard SPNs with exactly the semantics ShardedUae gives UAEs.
+//
+// The shard tables are materialized once and shared (shared_ptr) by every
+// clone, so backends that keep a table pointer (the SPN) stay valid across
+// the clone → fine-tune → publish cycle.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/servable.h"
+#include "data/table.h"
+#include "shard/partitioner.h"
+
+namespace uae::shard {
+
+/// Builds the model for one shard. `shard_table` outlives the returned model
+/// and all of its clones (owned by the ShardedServable's shared table
+/// vector); `shard_seed` is MixShardSeed(base, shard_id), so shard 0 keeps
+/// the base seed.
+using ServableFactory = std::function<std::shared_ptr<core::ServableModel>(
+    const data::Table& shard_table, int shard_id, uint64_t shard_seed)>;
+
+struct ShardedServableConfig {
+  PartitionConfig partition;
+  bool prune = true;        ///< Per-query shard pruning via CandidateShards.
+  uint64_t base_seed = 31;  ///< Mixed per shard; reported by seed().
+};
+
+class ShardedServable : public core::ServableModel {
+ public:
+  ShardedServable(const data::Table& table, const ShardedServableConfig& config,
+                  const ServableFactory& factory);
+
+  /// Pruned fan-out sum: skipped shards provably contribute zero true rows.
+  double EstimateCard(const workload::Query& query) const override;
+  /// Grouped per-shard batching; element i bit-identical to
+  /// EstimateCard(queries[i]) (ascending-shard summation order).
+  std::vector<double> EstimateCards(
+      std::span<const workload::Query> queries) const override;
+  size_t SizeBytes() const override;
+  size_t num_rows() const override { return num_rows_; }
+  uint64_t seed() const override { return config_.base_seed; }
+  /// Deep copy: every shard model is CloneServable()'d; partitioner and
+  /// shard tables are shared (immutable).
+  std::shared_ptr<core::ServableModel> CloneServable() const override;
+  /// Routes each labeled query to the single shard it prunes to (selectivity
+  /// re-derived from that shard's rows), drops spanning queries, and
+  /// fine-tunes the targeted shard models in parallel — untouched shards
+  /// stay bitwise identical. Returns the summed per-shard used counts.
+  size_t FineTune(const workload::Workload& workload,
+                  const core::FineTuneSpec& spec) override;
+
+  int num_shards() const { return static_cast<int>(models_.size()); }
+  const core::ServableModel& shard_model(int s) const {
+    return *models_[static_cast<size_t>(s)];
+  }
+  const HorizontalPartitioner& partitioner() const { return *partitioner_; }
+
+  /// The routing rule FineTune uses, exposed for tests: fills per_shard with
+  /// one workload per shard and returns how many queries were dropped as
+  /// spanning/unattributable.
+  size_t RouteWorkload(const workload::Workload& workload,
+                       std::vector<workload::Workload>* per_shard) const;
+
+ private:
+  ShardedServable(const ShardedServable& other);
+
+  ShardedServableConfig config_;
+  std::shared_ptr<const HorizontalPartitioner> partitioner_;
+  std::shared_ptr<const std::vector<data::Table>> shard_tables_;
+  std::vector<std::shared_ptr<core::ServableModel>> models_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace uae::shard
